@@ -1,0 +1,73 @@
+//! Ablation bench for the calibrated cost model (DESIGN.md): how sensitive
+//! is the reproduced recovery-latency ordering to the replay cost constant?
+//!
+//! For each replay-cost multiplier the correlated-failure run must keep the
+//! paper's ordering `Active < Checkpoint-5 < Checkpoint-30`; the bench
+//! asserts it while timing the runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_engine::{EngineConfig, FailureSpec, FtMode, Simulation};
+use ppa_sim::{SimDuration, SimTime};
+use ppa_workloads::{fig6_scenario, Fig6Config};
+
+fn latency(cfg: &Fig6Config, mode: FtMode, replay_mult: f64) -> f64 {
+    let scenario = fig6_scenario(cfg);
+    let mut config = EngineConfig { mode, ..EngineConfig::default() };
+    config.costs.replay_per_tuple = config.costs.replay_per_tuple.mul_f64(replay_mult);
+    let report = Simulation::run(
+        &scenario.query,
+        scenario.placement.clone(),
+        config,
+        vec![FailureSpec {
+            at: SimTime::from_secs(40),
+            nodes: scenario.worker_kill_set.clone(),
+        }],
+        SimDuration::from_secs(140),
+    );
+    report
+        .mean_recovery_latency()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::INFINITY)
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = Fig6Config {
+        rate: 300,
+        window: SimDuration::from_secs(10),
+        ..Fig6Config::default()
+    };
+    let n_tasks = 31;
+    let mut group = c.benchmark_group("ablation_replay_cost");
+    group.sample_size(10);
+    for mult in [0.5f64, 1.0, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("replay-x{mult}")),
+            &mult,
+            |b, &mult| {
+                b.iter(|| {
+                    let active = latency(&cfg, FtMode::active(n_tasks), mult);
+                    let cp5 = latency(
+                        &cfg,
+                        FtMode::checkpoint(n_tasks, SimDuration::from_secs(5)),
+                        mult,
+                    );
+                    let cp30 = latency(
+                        &cfg,
+                        FtMode::checkpoint(n_tasks, SimDuration::from_secs(30)),
+                        mult,
+                    );
+                    assert!(
+                        active < cp5 && cp5 < cp30,
+                        "ordering broke at replay multiplier {mult}: \
+                         active {active:.2}s, cp5 {cp5:.2}s, cp30 {cp30:.2}s"
+                    );
+                    (active, cp5, cp30)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

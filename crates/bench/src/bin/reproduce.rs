@@ -1,0 +1,53 @@
+//! Reproduces the paper's evaluation figures and prints each as a markdown
+//! table.
+//!
+//! ```text
+//! reproduce [--quick] [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative | all]
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+
+    println!(
+        "# PPA reproduction run ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "Reproducing: Su & Zhou, \"Tolerating Correlated Failures in Massively \
+         Parallel Stream Processing Engines\", ICDE 2016.\n"
+    );
+
+    let mut matched = false;
+    for (id, description, runner) in ppa_bench::registry() {
+        if !run_all && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        matched = true;
+        eprintln!(">> running {id}: {description}");
+        let start = Instant::now();
+        let figures = runner(quick);
+        let elapsed = start.elapsed();
+        println!("## {description}\n");
+        for fig in &figures {
+            print!("{}", fig.to_markdown());
+        }
+        println!("_(generated in {:.1?})_\n", elapsed);
+    }
+
+    if !matched {
+        eprintln!("no experiment matched; known ids:");
+        for (id, description, _) in ppa_bench::registry() {
+            eprintln!("  {id:10} {description}");
+        }
+        std::process::exit(2);
+    }
+}

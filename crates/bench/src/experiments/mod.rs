@@ -1,0 +1,163 @@
+//! One module per reproduced figure, plus shared scenario-driving helpers.
+
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod tentative;
+
+use ppa_core::TaskSet;
+use ppa_engine::{EngineConfig, FailureSpec, FtMode, RunReport, Simulation};
+use ppa_sim::{SimDuration, SimTime};
+use ppa_workloads::{Fig6Config, Scenario};
+
+/// A fault-tolerance strategy of the §VI-A experiments.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Pure active replication with the given output-sync period.
+    Active { sync_secs: u64 },
+    /// Pure passive checkpointing at the given interval.
+    Checkpoint { interval_secs: u64 },
+    /// Storm's source replay.
+    Storm,
+    /// A partially active plan over passive checkpoints.
+    Ppa { plan: TaskSet, interval_secs: u64 },
+}
+
+impl Strategy {
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Active { sync_secs } => format!("Active-{sync_secs}s"),
+            Strategy::Checkpoint { interval_secs } => format!("Checkpoint-{interval_secs}s"),
+            Strategy::Storm => "Storm".to_string(),
+            Strategy::Ppa { .. } => "PPA".to_string(),
+        }
+    }
+
+    fn config(&self, n_tasks: usize, window: SimDuration, seed: u64) -> EngineConfig {
+        let mut cfg = EngineConfig { seed, ..EngineConfig::default() };
+        match self {
+            Strategy::Active { sync_secs } => {
+                cfg.mode = FtMode::active(n_tasks);
+                cfg.replica_sync_interval = SimDuration::from_secs(*sync_secs);
+            }
+            Strategy::Checkpoint { interval_secs } => {
+                cfg.mode = FtMode::checkpoint(n_tasks, SimDuration::from_secs(*interval_secs));
+            }
+            Strategy::Storm => {
+                // Sources must retain at least the window for state rebuild.
+                cfg.mode = FtMode::SourceReplay { buffer: window + SimDuration::from_secs(5) };
+            }
+            Strategy::Ppa { plan, interval_secs } => {
+                cfg.mode =
+                    FtMode::ppa(plan.clone(), SimDuration::from_secs(*interval_secs));
+            }
+        }
+        cfg
+    }
+}
+
+/// Runs the Fig. 6 scenario under a strategy with the given kill set.
+pub fn run_fig6(
+    cfg: &Fig6Config,
+    strategy: &Strategy,
+    kill_nodes: Vec<usize>,
+    fail_at_secs: u64,
+    duration_secs: u64,
+) -> RunReport {
+    let scenario = ppa_workloads::fig6_scenario(cfg);
+    run_scenario(&scenario, strategy, cfg.window, kill_nodes, fail_at_secs, duration_secs, cfg.seed)
+}
+
+/// Runs any scenario under a strategy with the given kill set.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario(
+    scenario: &Scenario,
+    strategy: &Strategy,
+    window: SimDuration,
+    kill_nodes: Vec<usize>,
+    fail_at_secs: u64,
+    duration_secs: u64,
+    seed: u64,
+) -> RunReport {
+    let n_tasks = scenario.graph().n_tasks();
+    let config = strategy.config(n_tasks, window, seed);
+    let failures = if kill_nodes.is_empty() {
+        vec![]
+    } else {
+        vec![FailureSpec { at: SimTime::from_secs(fail_at_secs), nodes: kill_nodes }]
+    };
+    Simulation::run(
+        &scenario.query,
+        scenario.placement.clone(),
+        config,
+        failures,
+        SimDuration::from_secs(duration_secs),
+    )
+}
+
+/// Mean recovery latency in seconds over the non-source tasks (the 15
+/// synthetic tasks whose nodes the §VI-A experiments kill).
+pub fn mean_synthetic_latency(report: &RunReport, scenario: &Scenario) -> f64 {
+    let graph = scenario.graph();
+    crate::latency_secs(
+        report.mean_latency_of(|t| !graph.is_source_task(t)),
+    )
+}
+
+/// Completion latency of a correlated failure: detection → the *last*
+/// matching task restored its pre-failure progress. This is the quantity
+/// the paper's Fig. 8/10 bars measure — the whole failed set is only
+/// "recovered" when its slowest, synchronization-gated member is.
+pub fn completion_latency(
+    report: &RunReport,
+    mut include: impl FnMut(ppa_core::model::TaskIndex) -> bool,
+) -> f64 {
+    report
+        .recoveries
+        .iter()
+        .filter(|r| include(r.task))
+        .map(|r| {
+            r.latency()
+                .map_or(f64::NAN, |d| d.as_secs_f64())
+        })
+        .fold(f64::NAN, f64::max)
+}
+
+/// The (window, rate) grid of Fig. 7/8, scaled down in quick mode.
+pub fn fig6_grid(quick: bool) -> Vec<Fig6Config> {
+    let (windows, rates): (Vec<u64>, Vec<usize>) = if quick {
+        (vec![10], vec![300, 600])
+    } else {
+        (vec![10, 30], vec![1000, 2000])
+    };
+    let mut out = Vec::new();
+    for &w in &windows {
+        for &r in &rates {
+            out.push(Fig6Config {
+                rate: r,
+                window: SimDuration::from_secs(w),
+                ..Fig6Config::default()
+            });
+        }
+    }
+    out
+}
+
+/// Grid point label matching the paper's x-axis ("win:10s, rate:1000tp/s").
+pub fn grid_label(cfg: &Fig6Config) -> String {
+    format!("win:{}s rate:{}tp/s", cfg.window.as_micros() / 1_000_000, cfg.rate)
+}
+
+/// Failure/measurement schedule: the failure fires only after the window is
+/// full and every checkpoint interval has produced at least one checkpoint.
+pub fn schedule(quick: bool) -> (u64, u64) {
+    if quick {
+        (40, 130) // fail at 40s, run 130s
+    } else {
+        (70, 260)
+    }
+}

@@ -1,0 +1,72 @@
+//! The conclusion's headline claim: "upon a correlated failure, PPA can
+//! start producing tentative outputs up to 10 times faster than the
+//! completion of recovering all the failed tasks."
+//!
+//! One PPA-0.5 run per checkpoint interval: compare the time from failure
+//! detection to (a) the first tentative sink output and (b) the completion
+//! of the last passive recovery.
+
+use super::{run_fig6, schedule, Strategy};
+use crate::{Figure, Series};
+use ppa_core::{PlanContext, Planner, StructureAwarePlanner};
+use ppa_sim::SimDuration;
+use ppa_workloads::Fig6Config;
+
+pub fn run(quick: bool) -> Vec<Figure> {
+    let intervals: Vec<u64> = if quick { vec![15] } else { vec![5, 15, 30] };
+    let rate = if quick { 300 } else { 1000 };
+    let (fail_at, duration) = schedule(quick);
+    let cfg = Fig6Config {
+        rate,
+        window: SimDuration::from_secs(30),
+        ..Fig6Config::default()
+    };
+    let scenario = ppa_workloads::fig6_scenario(&cfg);
+    let n = scenario.graph().n_tasks();
+    let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
+    let plan = StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks;
+
+    let mut fig = Figure::new(
+        "tentative",
+        format!("Tentative output vs full recovery (PPA-0.5, rate {rate} tp/s)"),
+        "checkpoint interval (s)",
+        "seconds after detection / speedup",
+    );
+    let mut s_tentative = Series::new("first tentative output (s)");
+    let mut s_full = Series::new("full recovery (s)");
+    let mut s_speedup = Series::new("speedup (x)");
+    for &interval in &intervals {
+        let report = run_fig6(
+            &cfg,
+            &Strategy::Ppa { plan: plan.clone(), interval_secs: interval },
+            scenario.worker_kill_set.clone(),
+            fail_at,
+            duration,
+        );
+        let detected = report
+            .recoveries
+            .iter()
+            .map(|r| r.detected_at)
+            .min()
+            .expect("failures were injected");
+        let first_tentative = report
+            .first_tentative_after(detected)
+            .map(|t| t.since(detected).as_secs_f64())
+            .unwrap_or(f64::NAN);
+        let full = report
+            .full_recovery_at()
+            .map(|t| t.since(detected).as_secs_f64())
+            .unwrap_or(f64::NAN);
+        let x = format!("{interval}");
+        s_tentative.push(x.clone(), first_tentative);
+        s_full.push(x.clone(), full);
+        s_speedup.push(x, full / first_tentative.max(1e-9));
+    }
+    fig.series = vec![s_tentative, s_full, s_speedup];
+    fig.note(
+        "Expected shape (paper's conclusion): tentative outputs begin roughly one \
+         batch after detection, an order of magnitude before the last passive \
+         recovery completes — the gap widens with the checkpoint interval.",
+    );
+    vec![fig]
+}

@@ -1,0 +1,151 @@
+//! Figure = labelled series over a shared x-axis, rendered as markdown.
+
+use serde::Serialize;
+
+/// One series of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub label: String,
+    /// (x tick label, y value) pairs.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig08".
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Free-form notes (calibration caveats, paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// The union of x tick labels across series, in first-seen order.
+    fn ticks(&self) -> Vec<String> {
+        let mut ticks = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !ticks.contains(x) {
+                    ticks.push(x.clone());
+                }
+            }
+        }
+        ticks
+    }
+
+    /// Renders the figure as a markdown table (rows = x ticks).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let ticks = self.ticks();
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            self.x_label,
+            self.series
+                .iter()
+                .map(|s| s.label.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+        out.push_str(&format!("|{}|\n", "---|".repeat(self.series.len() + 1)));
+        for tick in &ticks {
+            let mut row = format!("| {tick} ");
+            for s in &self.series {
+                let v = s
+                    .points
+                    .iter()
+                    .find(|(x, _)| x == tick)
+                    .map(|(_, y)| *y);
+                match v {
+                    Some(y) if y.is_finite() => row.push_str(&format!("| {y:.3} ")),
+                    _ => row.push_str("| — "),
+                }
+            }
+            row.push_str("|\n");
+            out.push_str(&row);
+        }
+        out.push_str(&format!("\n*y: {}*\n", self.y_label));
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut f = Figure::new("figX", "Test", "x", "latency (s)");
+        let mut a = Series::new("A");
+        a.push("p1", 1.0);
+        a.push("p2", 2.5);
+        let mut b = Series::new("B");
+        b.push("p1", 3.0);
+        f.series.push(a);
+        f.series.push(b);
+        f.note("a note");
+        let md = f.to_markdown();
+        assert!(md.contains("### figX — Test"));
+        assert!(md.contains("| x | A | B |"));
+        assert!(md.contains("| p1 | 1.000 | 3.000 |"));
+        assert!(md.contains("| p2 | 2.500 | — |"), "missing point renders as dash:\n{md}");
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn ticks_preserve_order() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        let mut s = Series::new("s");
+        s.push("b", 1.0);
+        s.push("a", 2.0);
+        f.series.push(s);
+        assert_eq!(f.ticks(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        let mut s = Series::new("s");
+        s.push("a", f64::NAN);
+        f.series.push(s);
+        assert!(f.to_markdown().contains("| a | — |"));
+    }
+}

@@ -1,0 +1,78 @@
+//! # ppa-bench — the experiment harness
+//!
+//! One module per result figure of the paper's evaluation (§VI). Each
+//! experiment returns a [`Figure`]: labelled series over a shared x-axis,
+//! printable as a markdown table — the same rows/series the paper plots.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p ppa-bench --bin reproduce            # full scale
+//! cargo run --release -p ppa-bench --bin reproduce -- --quick # CI scale
+//! cargo run --release -p ppa-bench --bin reproduce -- fig08 fig13
+//! ```
+//!
+//! The criterion benches under `benches/` time scaled-down versions of the
+//! same experiments (one bench target per figure).
+
+pub mod experiments;
+pub mod figure;
+
+pub use figure::{Figure, Series};
+
+use ppa_sim::SimDuration;
+
+/// Converts an optional recovery latency into seconds for reporting
+/// (unrecovered = NaN so it is visibly absent from tables).
+pub fn latency_secs(d: Option<SimDuration>) -> f64 {
+    d.map_or(f64::NAN, |d| d.as_secs_f64())
+}
+
+/// The experiment registry: (id, description, runner).
+pub type Runner = fn(quick: bool) -> Vec<Figure>;
+
+/// All experiments in paper order.
+pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        (
+            "fig07",
+            "Recovery latency of single node failure (Fig. 7)",
+            experiments::fig07::run,
+        ),
+        (
+            "fig08",
+            "Recovery latency of correlated failure (Fig. 8)",
+            experiments::fig08::run,
+        ),
+        (
+            "fig09",
+            "CPU cost of maintaining checkpoints (Fig. 9)",
+            experiments::fig09::run,
+        ),
+        (
+            "fig10",
+            "Recovery latency of correlated failure with PPA plans (Fig. 10)",
+            experiments::fig10::run,
+        ),
+        (
+            "fig12",
+            "OF/IC metric validation against measured accuracy (Fig. 12)",
+            experiments::fig12::run,
+        ),
+        (
+            "fig13",
+            "DP vs SA vs Greedy: OF and measured accuracy (Fig. 13)",
+            experiments::fig13::run,
+        ),
+        (
+            "fig14",
+            "SA vs Greedy on random topologies (Fig. 14 a-d)",
+            experiments::fig14::run,
+        ),
+        (
+            "tentative",
+            "Tentative output latency vs full recovery (conclusion's 10x claim)",
+            experiments::tentative::run,
+        ),
+    ]
+}

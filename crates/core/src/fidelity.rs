@@ -1,0 +1,299 @@
+//! The operator output-loss model and the **Output Fidelity (OF)** metric of
+//! §III, plus the **Internal Completeness (IC)** baseline metric of
+//! Bellavista et al. (EDBT'14) used in the Fig. 12 comparison.
+//!
+//! Given a set of failed tasks, information loss (IL) propagates from the
+//! failures to the sink operator:
+//!
+//! * **Eq. 1** — the loss of an input stream is the rate-weighted average of
+//!   the losses of its substreams;
+//! * **Eq. 2** — a *correlated-input* (join) task's output loss treats the
+//!   effective input as the Cartesian product of its input streams:
+//!   `ILout = 1 − Π_j (1 − ILin_j)`;
+//! * **Eq. 3** — an *independent-input* task's output loss is the
+//!   rate-weighted average of its input-stream losses;
+//! * **Eq. 4** — `OF = 1 − Σ λout_i·ILout_i / Σ λout_i` over the tasks of
+//!   the sink operators.
+//!
+//! IC is the identical propagation with every operator treated as
+//! independent-input — precisely the "fundamental difference" the paper
+//! calls out: IC ignores the correlation of a task's input streams.
+
+use crate::model::{InputSemantics, TaskGraph, TaskSet};
+#[cfg(test)]
+use crate::model::TaskIndex;
+use crate::rates::RateModel;
+
+/// Output-loss propagation and OF/IC evaluation over one task graph.
+///
+/// The model borrows the graph and rates; it is cheap to construct and to
+/// copy around, and evaluation is `O(tasks + substreams)` per call.
+#[derive(Debug, Clone, Copy)]
+pub struct FidelityModel<'g> {
+    graph: &'g TaskGraph,
+    rates: &'g RateModel,
+}
+
+impl<'g> FidelityModel<'g> {
+    pub fn new(graph: &'g TaskGraph, rates: &'g RateModel) -> Self {
+        FidelityModel { graph, rates }
+    }
+
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.graph
+    }
+
+    pub fn rates(&self) -> &'g RateModel {
+        self.rates
+    }
+
+    /// Per-task output information loss `ILout` under the given failures
+    /// (Eq. 1–3), indexed by global task index.
+    pub fn output_loss(&self, failed: &TaskSet) -> Vec<f64> {
+        self.propagate(failed, false)
+    }
+
+    /// Output Fidelity (Eq. 4) of the topology when `failed` tasks are down.
+    pub fn output_fidelity(&self, failed: &TaskSet) -> f64 {
+        let loss = self.propagate(failed, false);
+        self.sink_fidelity(&loss)
+    }
+
+    /// OF of a replication plan under the paper's worst-case correlated
+    /// failure: every task *not* in the plan fails (§IV: "there is at least
+    /// one failed task in every MC-tree").
+    pub fn of_plan(&self, plan: &TaskSet) -> f64 {
+        self.output_fidelity(&plan.complement())
+    }
+
+    /// Internal Completeness of the topology when `failed` tasks are down:
+    /// same propagation but joins treated as independent-input.
+    pub fn internal_completeness(&self, failed: &TaskSet) -> f64 {
+        let loss = self.propagate(failed, true);
+        self.sink_fidelity(&loss)
+    }
+
+    /// IC of a replication plan under the worst-case correlated failure.
+    pub fn ic_plan(&self, plan: &TaskSet) -> f64 {
+        self.internal_completeness(&plan.complement())
+    }
+
+    /// Eq. 4 aggregation over sink-operator tasks given per-task losses.
+    fn sink_fidelity(&self, loss: &[f64]) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for t in self.graph.sink_tasks() {
+            let rate = self.rates.output_rate(t);
+            weighted += rate * loss[t.0];
+            total += rate;
+        }
+        if total <= 0.0 {
+            // A topology with no output rate conveys no information at all.
+            return 0.0;
+        }
+        1.0 - weighted / total
+    }
+
+    /// Propagates `ILout` for every task in topological order.
+    ///
+    /// `all_independent` switches Eq. 2 off (the IC baseline).
+    fn propagate(&self, failed: &TaskSet, all_independent: bool) -> Vec<f64> {
+        let n = self.graph.n_tasks();
+        let mut loss = vec![0.0; n];
+        for &t in self.graph.topo_tasks() {
+            if failed.contains(t) {
+                loss[t.0] = 1.0;
+                continue;
+            }
+            let inputs = self.graph.inputs(t);
+            if inputs.is_empty() {
+                loss[t.0] = 0.0; // healthy source
+                continue;
+            }
+            let op = self.graph.topology().operator(self.graph.operator_of(t));
+            let correlated =
+                !all_independent && op.semantics == InputSemantics::Correlated && inputs.len() > 1;
+
+            // Eq. 1 per input stream.
+            let mut stream_loss = Vec::with_capacity(inputs.len());
+            let mut stream_rate = Vec::with_capacity(inputs.len());
+            for istream in inputs {
+                let mut weighted = 0.0;
+                let mut total = 0.0;
+                for &s in &istream.substreams {
+                    let lambda = self.rates.substream_rate_between(self.graph, s, t);
+                    weighted += lambda * loss[s.0];
+                    total += lambda;
+                }
+                // A stream with no rate carries no information: treat as
+                // fully lost so a join over it cannot pretend to be healthy.
+                let il = if total > 0.0 { weighted / total } else { 1.0 };
+                stream_loss.push(il);
+                stream_rate.push(total);
+            }
+
+            loss[t.0] = if correlated {
+                // Eq. 2.
+                1.0 - stream_loss.iter().map(|il| 1.0 - il).product::<f64>()
+            } else {
+                // Eq. 3.
+                let total: f64 = stream_rate.iter().sum();
+                if total > 0.0 {
+                    stream_loss
+                        .iter()
+                        .zip(&stream_rate)
+                        .map(|(il, r)| il * r)
+                        .sum::<f64>()
+                        / total
+                } else {
+                    1.0
+                }
+            };
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        OperatorId, OperatorSpec, Partitioning, TaskWeights, TopologyBuilder,
+    };
+
+    /// The exact Fig. 2 example: O1 {t11:1, t12:2 tuples/s} and
+    /// O2 {t21:3, t22:2} feed the single join task t31; t22 fails.
+    /// The paper derives ILout31 = 2/5 (correlated) and 1/4 (independent).
+    fn fig2(correlated: bool) -> (TaskGraph, RateModel) {
+        let mut b = TopologyBuilder::new();
+        let o1 = b.add_operator(
+            OperatorSpec::source("O1", 2, 1.5).with_weights(TaskWeights::Explicit(vec![1.0, 2.0])),
+        );
+        let o2 = b.add_operator(
+            OperatorSpec::source("O2", 2, 2.5).with_weights(TaskWeights::Explicit(vec![3.0, 2.0])),
+        );
+        let o3 = if correlated {
+            b.add_operator(OperatorSpec::join("O3", 1, 1.0))
+        } else {
+            b.add_operator(OperatorSpec::map("O3", 1, 1.0))
+        };
+        b.connect(o1, o3, Partitioning::Merge).unwrap();
+        b.connect(o2, o3, Partitioning::Merge).unwrap();
+        let g = TaskGraph::new(b.build().unwrap());
+        let r = RateModel::compute(&g);
+        (g, r)
+    }
+
+    #[test]
+    fn fig2_correlated_loss_matches_paper() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        let t22 = g.task_index(OperatorId(1), 1);
+        let failed = TaskSet::from_tasks(g.n_tasks(), [t22]);
+        let loss = m.output_loss(&failed);
+        let t31 = g.task_index(OperatorId(2), 0);
+        assert!((loss[t31.0] - 0.4).abs() < 1e-12, "ILout31 = 2/5, got {}", loss[t31.0]);
+        assert!((m.output_fidelity(&failed) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_independent_loss_matches_paper() {
+        let (g, r) = fig2(false);
+        let m = FidelityModel::new(&g, &r);
+        let t22 = g.task_index(OperatorId(1), 1);
+        let failed = TaskSet::from_tasks(g.n_tasks(), [t22]);
+        let loss = m.output_loss(&failed);
+        let t31 = g.task_index(OperatorId(2), 0);
+        assert!((loss[t31.0] - 0.25).abs() < 1e-12, "ILout31 = 1/4, got {}", loss[t31.0]);
+        assert!((m.output_fidelity(&failed) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_equals_of_without_joins() {
+        let (g, r) = fig2(false);
+        let m = FidelityModel::new(&g, &r);
+        let failed = TaskSet::from_tasks(g.n_tasks(), [TaskIndex(0), TaskIndex(3)]);
+        assert!((m.output_fidelity(&failed) - m.internal_completeness(&failed)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_overestimates_fidelity_on_joins() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        let t22 = g.task_index(OperatorId(1), 1);
+        let failed = TaskSet::from_tasks(g.n_tasks(), [t22]);
+        // IC ignores the correlation and reports the independent value.
+        assert!(m.internal_completeness(&failed) > m.output_fidelity(&failed));
+        assert!((m.internal_completeness(&failed) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_failure_is_perfect_fidelity() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        let none = TaskSet::empty(g.n_tasks());
+        assert!((m.output_fidelity(&none) - 1.0).abs() < 1e-12);
+        assert!((m.internal_completeness(&none) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_failed_is_zero_fidelity() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        let all = TaskSet::full(g.n_tasks());
+        assert_eq!(m.output_fidelity(&all), 0.0);
+    }
+
+    #[test]
+    fn failed_sink_kills_its_share() {
+        // Two sink tasks with equal rates: failing one halves fidelity.
+        let mut b = TopologyBuilder::new();
+        let s = b.add_operator(OperatorSpec::source("s", 2, 10.0));
+        let m_ = b.add_operator(OperatorSpec::map("m", 2, 1.0));
+        b.connect(s, m_, Partitioning::OneToOne).unwrap();
+        let g = TaskGraph::new(b.build().unwrap());
+        let r = RateModel::compute(&g);
+        let fm = FidelityModel::new(&g, &r);
+        let failed = TaskSet::from_tasks(g.n_tasks(), [g.task_index(OperatorId(1), 0)]);
+        assert!((fm.output_fidelity(&failed) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_plan_complements_correctly() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        // Plan replicating everything ⇒ no failures ⇒ OF 1.
+        assert!((m.of_plan(&TaskSet::full(g.n_tasks())) - 1.0).abs() < 1e-12);
+        // Empty plan ⇒ everything fails ⇒ OF 0.
+        assert_eq!(m.of_plan(&TaskSet::empty(g.n_tasks())), 0.0);
+    }
+
+    #[test]
+    fn join_with_one_dead_stream_loses_everything() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        // Both O2 tasks fail: the whole second input stream is lost, so the
+        // join's Cartesian input is empty.
+        let failed = TaskSet::from_tasks(
+            g.n_tasks(),
+            [g.task_index(OperatorId(1), 0), g.task_index(OperatorId(1), 1)],
+        );
+        assert_eq!(m.output_fidelity(&failed), 0.0);
+        // The independent counterpart would retain the O1 share.
+        assert!(m.internal_completeness(&failed) > 0.0);
+    }
+
+    #[test]
+    fn loss_is_monotone_in_failures() {
+        let (g, r) = fig2(true);
+        let m = FidelityModel::new(&g, &r);
+        let mut failed = TaskSet::empty(g.n_tasks());
+        let mut prev = m.output_fidelity(&failed);
+        for t in 0..g.n_tasks() {
+            failed.insert(TaskIndex(t));
+            let next = m.output_fidelity(&failed);
+            assert!(next <= prev + 1e-12, "fidelity must not increase with more failures");
+            prev = next;
+        }
+    }
+}

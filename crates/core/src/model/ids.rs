@@ -1,0 +1,55 @@
+//! Small typed identifiers for operators, edges and tasks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an operator within a [`super::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OperatorId(pub usize);
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Index of an operator-level edge within a [`super::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EdgeId(pub usize);
+
+/// Dense global index of a task within a [`super::TaskGraph`].
+///
+/// Tasks are numbered operator by operator: operator `Oi`'s tasks occupy a
+/// contiguous range, so the pair *(operator, local index)* and the global
+/// index are freely interconvertible via [`super::TaskGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskIndex(pub usize);
+
+impl fmt::Display for TaskIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OperatorId(3).to_string(), "O3");
+        assert_eq!(TaskIndex(12).to_string(), "t12");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(TaskIndex(1) < TaskIndex(2));
+        assert!(OperatorId(0) < OperatorId(1));
+    }
+}

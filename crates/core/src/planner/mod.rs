@@ -1,0 +1,284 @@
+//! Replication planners (§IV): given a topology and a budget of `R` actively
+//! replicable tasks, choose the task set maximizing the quality of tentative
+//! outputs under a worst-case correlated failure (Definition 2).
+//!
+//! * [`DpPlanner`] — Algorithm 1, the exact dynamic program over MC-trees.
+//! * [`GreedyPlanner`] — Algorithm 2, topology-agnostic task ranking.
+//! * [`StructureAwarePlanner`] — Algorithms 3–5, decomposition into
+//!   structured/full sub-topologies with profit-density expansion.
+//! * [`BruteForcePlanner`] — exhaustive search over MC-tree subsets, used as
+//!   the optimality oracle in tests.
+
+pub mod adaptive;
+mod dp;
+mod greedy;
+pub mod structure;
+
+pub use adaptive::{adapt_plan, AdaptivePlanner, PlanAdaptation};
+pub use dp::DpPlanner;
+pub use greedy::GreedyPlanner;
+pub use structure::StructureAwarePlanner;
+
+use crate::error::Result;
+use crate::fidelity::FidelityModel;
+use crate::mctree::{enumerate_mc_trees_with, McTreeLimits};
+use crate::model::{TaskGraph, TaskSet, Topology};
+use crate::rates::RateModel;
+use std::sync::OnceLock;
+
+/// Which quality metric a planner optimizes. The paper optimizes OF; the
+/// Fig. 12 experiment additionally produces IC-optimized plans to show that
+/// IC mispredicts accuracy for queries with joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    #[default]
+    OutputFidelity,
+    InternalCompleteness,
+}
+
+/// A partially active replication plan: the set of actively replicated tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The actively replicated tasks.
+    pub tasks: TaskSet,
+    /// The objective value (OF or IC, per the context's [`Objective`]) of the
+    /// plan under the worst-case correlated failure.
+    pub value: f64,
+}
+
+impl Plan {
+    /// Number of replication slots the plan consumes.
+    pub fn resources(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// Everything a planner needs: the task graph, rates, the metric to
+/// optimize, and a lazily enumerated MC-tree cache.
+pub struct PlanContext {
+    graph: TaskGraph,
+    rates: RateModel,
+    objective: Objective,
+    mc_limits: McTreeLimits,
+    mc_trees: OnceLock<Result<Vec<TaskSet>>>,
+}
+
+impl PlanContext {
+    /// Builds a context (task graph + rates) for a topology, optimizing OF.
+    pub fn new(topology: &Topology) -> Result<Self> {
+        Ok(Self::from_graph(TaskGraph::new(topology.clone())))
+    }
+
+    /// Builds a context from an already expanded task graph.
+    pub fn from_graph(graph: TaskGraph) -> Self {
+        let rates = RateModel::compute(&graph);
+        PlanContext {
+            graph,
+            rates,
+            objective: Objective::OutputFidelity,
+            mc_limits: McTreeLimits::default(),
+            mc_trees: OnceLock::new(),
+        }
+    }
+
+    /// Switches the metric the planners optimize.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the MC-tree enumeration guard.
+    pub fn with_mc_limits(mut self, limits: McTreeLimits) -> Self {
+        self.mc_limits = limits;
+        self
+    }
+
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    pub fn rates(&self) -> &RateModel {
+        &self.rates
+    }
+
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.graph.n_tasks()
+    }
+
+    /// The fidelity model over this context's graph and rates.
+    pub fn fidelity(&self) -> FidelityModel<'_> {
+        FidelityModel::new(&self.graph, &self.rates)
+    }
+
+    /// Objective value when `failed` tasks are down.
+    pub fn score_failed(&self, failed: &TaskSet) -> f64 {
+        match self.objective {
+            Objective::OutputFidelity => self.fidelity().output_fidelity(failed),
+            Objective::InternalCompleteness => self.fidelity().internal_completeness(failed),
+        }
+    }
+
+    /// Objective value of a plan under the worst-case correlated failure
+    /// (all non-replicated tasks down).
+    pub fn score_plan(&self, plan: &TaskSet) -> f64 {
+        self.score_failed(&plan.complement())
+    }
+
+    /// Output fidelity of a plan, regardless of the planning objective.
+    pub fn of_plan(&self, plan: &TaskSet) -> f64 {
+        self.fidelity().of_plan(plan)
+    }
+
+    /// Internal completeness of a plan, regardless of the objective.
+    pub fn ic_plan(&self, plan: &TaskSet) -> f64 {
+        self.fidelity().ic_plan(plan)
+    }
+
+    /// The topology's MC-trees (cached; `Err` if enumeration explodes).
+    /// Under the IC objective joins are treated as unions, matching what
+    /// that metric believes a complete tree is.
+    pub fn mc_trees(&self) -> Result<&[TaskSet]> {
+        let joins_as_union = self.objective == Objective::InternalCompleteness;
+        match self
+            .mc_trees
+            .get_or_init(|| enumerate_mc_trees_with(&self.graph, self.mc_limits, joins_as_union))
+        {
+            Ok(trees) => Ok(trees.as_slice()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Wraps a task set into a [`Plan`] with its objective value.
+    pub fn make_plan(&self, tasks: TaskSet) -> Plan {
+        let value = self.score_plan(&tasks);
+        Plan { tasks, value }
+    }
+}
+
+/// A replication planner for Definition 2.
+pub trait Planner {
+    /// Short name used in experiment reports ("DP", "Greedy", "SA", ...).
+    fn name(&self) -> &'static str;
+
+    /// Chooses at most `budget` tasks to actively replicate.
+    fn plan(&self, cx: &PlanContext, budget: usize) -> Result<Plan>;
+}
+
+/// Exhaustive search over subsets of MC-trees: the optimality oracle used in
+/// tests to validate [`DpPlanner`]. Exponential in the number of MC-trees.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForcePlanner {
+    /// Refuses instances with more MC-trees than this (default 20).
+    pub max_trees: usize,
+}
+
+impl Default for BruteForcePlanner {
+    fn default() -> Self {
+        BruteForcePlanner { max_trees: 20 }
+    }
+}
+
+impl Planner for BruteForcePlanner {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn plan(&self, cx: &PlanContext, budget: usize) -> Result<Plan> {
+        let trees = cx.mc_trees()?;
+        if trees.len() > self.max_trees {
+            return Err(crate::error::CoreError::McTreeExplosion { limit: self.max_trees });
+        }
+        let n = cx.n_tasks();
+        let mut best = TaskSet::empty(n);
+        let mut best_score = cx.score_plan(&best);
+        for mask in 0u64..(1u64 << trees.len()) {
+            let mut union = TaskSet::empty(n);
+            for (i, tree) in trees.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    union.union_with(tree);
+                }
+            }
+            if union.len() > budget {
+                continue;
+            }
+            let score = cx.score_plan(&union);
+            if score > best_score + 1e-12
+                || (score > best_score - 1e-12 && union.len() < best.len())
+            {
+                best = union;
+                best_score = score;
+            }
+        }
+        Ok(Plan { tasks: best, value: best_score })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OperatorSpec, Partitioning, TopologyBuilder};
+
+    fn small() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_operator(OperatorSpec::source("s", 2, 10.0));
+        let k = b.add_operator(OperatorSpec::map("k", 1, 1.0));
+        b.connect(s, k, Partitioning::Merge).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn context_scores_and_plans() {
+        let cx = PlanContext::new(&small()).unwrap();
+        assert_eq!(cx.n_tasks(), 3);
+        let all = TaskSet::full(3);
+        assert!((cx.score_plan(&all) - 1.0).abs() < 1e-12);
+        let plan = cx.make_plan(all);
+        assert_eq!(plan.resources(), 3);
+        assert!((plan.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_trees_are_cached() {
+        let cx = PlanContext::new(&small()).unwrap();
+        let a = cx.mc_trees().unwrap().as_ptr();
+        let b = cx.mc_trees().unwrap().as_ptr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brute_force_finds_a_tree_when_budget_allows() {
+        let cx = PlanContext::new(&small()).unwrap();
+        // Budget 2 fits one MC-tree (1 source + sink).
+        let plan = BruteForcePlanner::default().plan(&cx, 2).unwrap();
+        assert_eq!(plan.resources(), 2);
+        assert!(plan.value > 0.0);
+        // Budget 1 fits nothing useful.
+        let plan = BruteForcePlanner::default().plan(&cx, 1).unwrap();
+        assert_eq!(plan.resources(), 0);
+        assert_eq!(plan.value, 0.0);
+    }
+
+    #[test]
+    fn objective_switch_changes_scoring() {
+        // Join where the two metrics diverge.
+        let mut b = TopologyBuilder::new();
+        let s1 = b.add_operator(OperatorSpec::source("s1", 2, 10.0));
+        let s2 = b.add_operator(OperatorSpec::source("s2", 2, 10.0));
+        let j = b.add_operator(OperatorSpec::join("j", 1, 1.0));
+        b.connect(s1, j, Partitioning::Merge).unwrap();
+        b.connect(s2, j, Partitioning::Merge).unwrap();
+        let t = b.build().unwrap();
+
+        let cx_of = PlanContext::new(&t).unwrap();
+        let cx_ic =
+            PlanContext::new(&t).unwrap().with_objective(Objective::InternalCompleteness);
+        // Plan covering one source of s1 plus the join, nothing of s2.
+        let plan = TaskSet::from_tasks(5, [crate::model::TaskIndex(0), crate::model::TaskIndex(4)]);
+        assert_eq!(cx_of.score_plan(&plan), 0.0, "join starves without s2");
+        assert!(cx_ic.score_plan(&plan) > 0.0, "IC ignores the correlation");
+    }
+}

@@ -1,0 +1,44 @@
+//! # ppa-engine — a Storm-like MPSPE substrate with PPA fault tolerance
+//!
+//! This crate implements §V of the paper as a deterministic discrete-event
+//! simulation of a cluster (see DESIGN.md §4 for why the EC2/Storm testbed
+//! is substituted this way):
+//!
+//! * **Batch dataflow** — input streams are cut into batches closed by
+//!   batch-over punctuations; a task processes batch `b` only after every
+//!   live upstream substream delivered or closed `b` (§V-B).
+//! * **Passive replication** — periodic checkpoints (UDF state + output
+//!   buffer) stored on standby nodes; upstream output buffers are trimmed on
+//!   downstream checkpoints; recovery = restore + replay, with neighbour
+//!   synchronization emerging from regenerated streams.
+//! * **Active replication** — replicas co-process the same batches on
+//!   standby nodes with outputs off; primaries periodically let replicas
+//!   trim their output buffers; on failure the replica takes over after
+//!   re-sending its buffered output, and downstream deduplicates by batch id.
+//! * **Source replay (Storm baseline)** — no checkpoints; failed tasks
+//!   restart empty and the sources replay the window's worth of batches
+//!   through the topology, charging reprocessing CPU at every hop.
+//! * **Tentative outputs** — once the master detects failures it proxies the
+//!   batch-over punctuations of failed (non-replicated) tasks so downstream
+//!   keeps producing degraded output; proxying stops at recovery.
+//! * **Failure detection** — heartbeat scans at a fixed interval (5 s in the
+//!   paper); recovery latency is measured from detection to the instant the
+//!   task's progress vector dominates its pre-failure progress (§VI).
+
+pub mod config;
+pub mod estimate;
+pub mod placement;
+pub mod query;
+pub mod report;
+pub mod runtime;
+pub mod tuple;
+pub mod udf;
+
+pub use config::{CostModel, EngineConfig, FtMode};
+pub use estimate::{active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile};
+pub use placement::Placement;
+pub use query::{Query, QueryBuilder};
+pub use report::{RunReport, SinkBatch, TaskRecovery, TaskThroughput};
+pub use runtime::{FailureSpec, Simulation};
+pub use tuple::{Key, Tuple, Value};
+pub use udf::{BatchCtx, InputBatch, SourceGen, Udf};

@@ -1,0 +1,122 @@
+//! Task-to-node placement, mirroring the paper's cluster layout: primary
+//! tasks on worker nodes, checkpoints and active replicas on standby nodes.
+
+use ppa_core::model::{TaskGraph, TaskIndex};
+
+/// Identifier of a simulated cluster node.
+pub type NodeId = usize;
+
+/// Placement of a task graph onto a cluster.
+///
+/// Nodes `0..n_workers` are workers, `n_workers..n_workers+n_standby` are
+/// standby nodes. Task `t`'s active replica (if any) and its checkpoint
+/// restore target both live on `standby[t]`.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Worker node of each primary task.
+    pub primary: Vec<NodeId>,
+    /// Standby node of each task (replica host / restore target).
+    pub standby: Vec<NodeId>,
+    pub n_workers: usize,
+    pub n_standby: usize,
+}
+
+impl Placement {
+    /// Round-robin placement: tasks are dealt across `n_workers` workers in
+    /// task order; standbys are dealt across `n_standby` standby nodes.
+    pub fn round_robin(graph: &TaskGraph, n_workers: usize, n_standby: usize) -> Self {
+        assert!(n_workers > 0 && n_standby > 0);
+        let n = graph.n_tasks();
+        Placement {
+            primary: (0..n).map(|t| t % n_workers).collect(),
+            standby: (0..n).map(|t| n_workers + t % n_standby).collect(),
+            n_workers,
+            n_standby,
+        }
+    }
+
+    /// Explicit placement. `primary[t]` must be `< n_workers` and
+    /// `standby[t]` in `n_workers..n_workers+n_standby`.
+    pub fn explicit(primary: Vec<NodeId>, standby: Vec<NodeId>, n_workers: usize, n_standby: usize) -> Self {
+        assert_eq!(primary.len(), standby.len());
+        assert!(primary.iter().all(|&n| n < n_workers));
+        assert!(standby.iter().all(|&n| (n_workers..n_workers + n_standby).contains(&n)));
+        Placement { primary, standby, n_workers, n_standby }
+    }
+
+    /// Total number of nodes (workers + standby).
+    pub fn n_nodes(&self) -> usize {
+        self.n_workers + self.n_standby
+    }
+
+    /// Tasks hosted on `node` as primaries.
+    pub fn tasks_on(&self, node: NodeId) -> Vec<TaskIndex> {
+        self.primary
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &n)| (n == node).then_some(TaskIndex(t)))
+            .collect()
+    }
+
+    /// All worker nodes hosting at least one of the given tasks.
+    pub fn nodes_of(&self, tasks: impl IntoIterator<Item = TaskIndex>) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = tasks.into_iter().map(|t| self.primary[t.0]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// All worker nodes that host any primary task — killing these is the
+    /// paper's correlated-failure injection (§VI-A).
+    pub fn all_primary_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.primary.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::model::{OperatorSpec, Partitioning, TopologyBuilder};
+
+    fn graph() -> TaskGraph {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
+        let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
+        b.connect(s, m, Partitioning::Merge).unwrap();
+        TaskGraph::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn round_robin_deals_tasks() {
+        let g = graph();
+        let p = Placement::round_robin(&g, 3, 2);
+        assert_eq!(p.primary, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(p.standby, vec![3, 4, 3, 4, 3, 4]);
+        assert_eq!(p.n_nodes(), 5);
+    }
+
+    #[test]
+    fn tasks_on_node() {
+        let g = graph();
+        let p = Placement::round_robin(&g, 3, 2);
+        assert_eq!(p.tasks_on(0), vec![TaskIndex(0), TaskIndex(3)]);
+        assert_eq!(p.tasks_on(4), Vec::<TaskIndex>::new(), "standby hosts no primaries");
+    }
+
+    #[test]
+    fn nodes_of_dedups() {
+        let g = graph();
+        let p = Placement::round_robin(&g, 3, 2);
+        assert_eq!(p.nodes_of([TaskIndex(0), TaskIndex(3)]), vec![0]);
+        assert_eq!(p.all_primary_nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn explicit_validates_ranges() {
+        let _ = Placement::explicit(vec![5], vec![1], 2, 1);
+    }
+}

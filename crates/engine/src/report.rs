@@ -1,0 +1,255 @@
+//! Run reports: everything the experiment harness extracts from a run.
+
+use crate::tuple::Tuple;
+use ppa_core::model::TaskIndex;
+use ppa_sim::{SimDuration, SimTime};
+
+/// Recovery record of one failed task.
+#[derive(Debug, Clone)]
+pub struct TaskRecovery {
+    pub task: TaskIndex,
+    /// Whether the task was recovered from an active replica.
+    pub via_replica: bool,
+    /// When the node failure actually happened.
+    pub failed_at: SimTime,
+    /// When the master's heartbeat scan detected it.
+    pub detected_at: SimTime,
+    /// When the task's progress vector dominated its pre-failure progress
+    /// (`None` if the run ended first).
+    pub recovered_at: Option<SimTime>,
+}
+
+impl TaskRecovery {
+    /// The paper's recovery latency: detection → progress restored.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.recovered_at.map(|r| r.since(self.detected_at))
+    }
+}
+
+/// One batch of output collected at a sink task.
+#[derive(Debug, Clone)]
+pub struct SinkBatch {
+    pub task: TaskIndex,
+    pub batch: u64,
+    /// Virtual time the batch's output was emitted.
+    pub at: SimTime,
+    /// Whether any proxy punctuation (lost input) degraded this batch.
+    pub tentative: bool,
+    pub tuples: Vec<Tuple>,
+}
+
+/// Per-task throughput accounting, the raw material for §V-C's dynamic plan
+/// adaptation: observed rates feed re-planning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskThroughput {
+    /// Tuples consumed across all input substreams (source tasks: 0).
+    pub tuples_in: u64,
+    /// Tuples emitted downstream (or collected, for sinks).
+    pub tuples_out: u64,
+}
+
+impl TaskThroughput {
+    /// Mean output rate in tuples/s over a run of `secs` seconds.
+    pub fn out_rate(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.tuples_out as f64 / secs
+    }
+}
+
+/// Per-task CPU accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuStats {
+    /// CPU spent in normal batch processing (including source generation).
+    pub processing: SimDuration,
+    /// CPU spent creating checkpoints.
+    pub checkpoint: SimDuration,
+}
+
+impl CpuStats {
+    /// Ratio of checkpoint CPU to processing CPU (Fig. 9's metric).
+    pub fn checkpoint_ratio(&self) -> f64 {
+        let p = self.processing.as_micros();
+        if p == 0 {
+            return 0.0;
+        }
+        self.checkpoint.as_micros() as f64 / p as f64
+    }
+}
+
+/// Everything measured during one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-failed-task recovery records, in task order.
+    pub recoveries: Vec<TaskRecovery>,
+    /// Sink outputs in emission order.
+    pub sink: Vec<SinkBatch>,
+    /// Per-task CPU statistics (indexed by task).
+    pub cpu: Vec<CpuStats>,
+    /// Per-task throughput (indexed by task; primary incarnations only).
+    pub throughput: Vec<TaskThroughput>,
+    /// Number of events the simulation processed.
+    pub events: u64,
+    /// Virtual time the run ended.
+    pub ended_at: SimTime,
+}
+
+impl RunReport {
+    /// Mean recovery latency over recovered tasks (`None` if nothing
+    /// recovered).
+    pub fn mean_recovery_latency(&self) -> Option<SimDuration> {
+        let lat: Vec<SimDuration> =
+            self.recoveries.iter().filter_map(TaskRecovery::latency).collect();
+        if lat.is_empty() {
+            return None;
+        }
+        let total: u64 = lat.iter().map(|d| d.as_micros()).sum();
+        Some(SimDuration::from_micros(total / lat.len() as u64))
+    }
+
+    /// Latest recovery completion (the correlated-failure "recovery done"
+    /// instant).
+    pub fn full_recovery_at(&self) -> Option<SimTime> {
+        if self.recoveries.is_empty() || self.recoveries.iter().any(|r| r.recovered_at.is_none())
+        {
+            return None;
+        }
+        self.recoveries.iter().filter_map(|r| r.recovered_at).max()
+    }
+
+    /// Mean recovery latency over a subset of tasks.
+    pub fn mean_latency_of(
+        &self,
+        mut include: impl FnMut(TaskIndex) -> bool,
+    ) -> Option<SimDuration> {
+        let lat: Vec<SimDuration> = self
+            .recoveries
+            .iter()
+            .filter(|r| include(r.task))
+            .filter_map(TaskRecovery::latency)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        let total: u64 = lat.iter().map(|d| d.as_micros()).sum();
+        Some(SimDuration::from_micros(total / lat.len() as u64))
+    }
+
+    /// First tentative sink batch at or after `t`.
+    pub fn first_tentative_after(&self, t: SimTime) -> Option<SimTime> {
+        self.sink
+            .iter()
+            .filter(|s| s.tentative && s.at >= t)
+            .map(|s| s.at)
+            .min()
+    }
+
+    /// Sink batches emitted for batch id `b` across sink tasks.
+    pub fn sink_batches(&self, b: u64) -> impl Iterator<Item = &SinkBatch> {
+        self.sink.iter().filter(move |s| s.batch == b)
+    }
+
+    /// Aggregate checkpoint-CPU ratio across tasks that did any processing.
+    pub fn mean_checkpoint_ratio(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .cpu
+            .iter()
+            .filter(|c| c.processing.as_micros() > 0 && c.checkpoint.as_micros() > 0)
+            .map(CpuStats::checkpoint_ratio)
+            .collect();
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+impl RunReport {
+    /// Observed mean output rates (tuples/s) per task — plug these into
+    /// `ppa_core::model::TaskWeights::Explicit` per operator to re-plan with
+    /// live rates (§V-C).
+    pub fn observed_out_rates(&self) -> Vec<f64> {
+        let secs = self.ended_at.as_secs_f64();
+        self.throughput.iter().map(|t| t.out_rate(secs)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rates() {
+        let t = TaskThroughput { tuples_in: 500, tuples_out: 1_000 };
+        assert!((t.out_rate(10.0) - 100.0).abs() < 1e-9);
+        assert_eq!(t.out_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn latency_math() {
+        let r = TaskRecovery {
+            task: TaskIndex(0),
+            via_replica: false,
+            failed_at: SimTime::from_secs(10),
+            detected_at: SimTime::from_secs(15),
+            recovered_at: Some(SimTime::from_secs(40)),
+        };
+        assert_eq!(r.latency(), Some(SimDuration::from_secs(25)));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mk = |task, rec| TaskRecovery {
+            task: TaskIndex(task),
+            via_replica: false,
+            failed_at: SimTime::from_secs(10),
+            detected_at: SimTime::from_secs(15),
+            recovered_at: rec,
+        };
+        let mut rep = RunReport::default();
+        rep.recoveries.push(mk(0, Some(SimTime::from_secs(25))));
+        rep.recoveries.push(mk(1, Some(SimTime::from_secs(35))));
+        assert_eq!(rep.mean_recovery_latency(), Some(SimDuration::from_secs(15)));
+        assert_eq!(rep.full_recovery_at(), Some(SimTime::from_secs(35)));
+        // Unrecovered task blocks full_recovery_at.
+        rep.recoveries.push(mk(2, None));
+        assert_eq!(rep.full_recovery_at(), None);
+        assert_eq!(
+            rep.mean_latency_of(|t| t.0 == 1),
+            Some(SimDuration::from_secs(20))
+        );
+    }
+
+    #[test]
+    fn cpu_ratio() {
+        let c = CpuStats {
+            processing: SimDuration::from_secs(10),
+            checkpoint: SimDuration::from_secs(5),
+        };
+        assert!((c.checkpoint_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CpuStats::default().checkpoint_ratio(), 0.0);
+    }
+
+    #[test]
+    fn tentative_lookup() {
+        let mut rep = RunReport::default();
+        rep.sink.push(SinkBatch {
+            task: TaskIndex(5),
+            batch: 3,
+            at: SimTime::from_secs(4),
+            tentative: false,
+            tuples: vec![],
+        });
+        rep.sink.push(SinkBatch {
+            task: TaskIndex(5),
+            batch: 9,
+            at: SimTime::from_secs(10),
+            tentative: true,
+            tuples: vec![],
+        });
+        assert_eq!(rep.first_tentative_after(SimTime::ZERO), Some(SimTime::from_secs(10)));
+        assert_eq!(rep.first_tentative_after(SimTime::from_secs(11)), None);
+        assert_eq!(rep.sink_batches(9).count(), 1);
+    }
+}

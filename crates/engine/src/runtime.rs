@@ -1,0 +1,1327 @@
+//! The simulated cluster runtime: batch dataflow, failure injection,
+//! detection and the three recovery paths (active replica takeover,
+//! checkpoint restore + replay, Storm-style source replay).
+//!
+//! One [`Simulation`] owns the whole cluster state and is driven by a
+//! deterministic event loop (`ppa_sim::Scheduler`). Runtime slots `0..n`
+//! hold the primary incarnation of each logical task (a checkpoint restore
+//! reuses the slot, moving it to the standby node); slots `n..` hold active
+//! replicas.
+//!
+//! Protocol summary (§V-B):
+//! * every task ships exactly one `Data` message per (batch, downstream
+//!   substream) — the message doubles as the batch-over punctuation;
+//! * a batch is processed once every input substream has delivered it or
+//!   had it closed by a master proxy punctuation; receivers drop batches
+//!   below their substream cursor, which makes replica takeover and replay
+//!   idempotent;
+//! * upstream output buffers are trimmed by downstream checkpoints (and by
+//!   primary→replica sync for replicas); checkpoints include the output
+//!   buffer, so a restored task can re-serve its downstream immediately.
+
+use crate::config::{EngineConfig, FtMode};
+use crate::placement::{NodeId, Placement};
+use crate::query::Query;
+use crate::report::{CpuStats, RunReport, SinkBatch, TaskRecovery};
+use crate::tuple::{route, Tuple};
+use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
+use ppa_core::model::{TaskGraph, TaskIndex};
+use ppa_sim::{Scheduler, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A failure injection: the listed nodes die at `at`.
+#[derive(Debug, Clone)]
+pub struct FailureSpec {
+    pub at: SimTime,
+    pub nodes: Vec<NodeId>,
+}
+
+/// Runtime slot index (primaries: `0..n_tasks`; replicas: `n_tasks..`).
+type Rt = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    Dead,
+    /// Checkpoint being loaded (or Storm restart pending).
+    Restoring,
+    /// Replaying the backlog until the pre-failure progress is reached.
+    CatchingUp,
+}
+
+/// One downstream substream this task sends to.
+#[derive(Debug, Clone)]
+struct OutTarget {
+    /// Output-stream index at the sender (one per downstream operator).
+    stream: usize,
+    /// Receiving logical task.
+    to: TaskIndex,
+    /// Flat substream index at the receiver identifying this sender.
+    to_substream: usize,
+}
+
+/// Output buffered for one downstream substream.
+type Buffered = (u64, Arc<Vec<Tuple>>, bool);
+
+struct Checkpoint {
+    /// `next_batch` at snapshot time.
+    batch: u64,
+    udf: Option<Box<dyn Udf>>,
+    out_buffer: Vec<VecDeque<Buffered>>,
+    closed: Vec<u64>,
+    state_tuples: usize,
+}
+
+struct TaskRt {
+    logical: TaskIndex,
+    is_replica: bool,
+    node: NodeId,
+    status: Status,
+    udf: Option<Box<dyn Udf>>,
+    source: Option<Box<dyn SourceGen>>,
+    /// (input-stream index, upstream logical task) per flat substream.
+    sub_from: Vec<(usize, TaskIndex)>,
+    /// Staged (not yet processed) data per flat substream.
+    staged: Vec<BTreeMap<u64, (Arc<Vec<Tuple>>, bool)>>,
+    /// Per substream: batches `< closed[s]` may be processed without data
+    /// (closed by proxy punctuations).
+    closed: Vec<u64>,
+    /// Next batch to process (sources: next batch to generate).
+    next_batch: u64,
+    /// Whether processed batches are sent downstream (replicas start muted).
+    outputs_enabled: bool,
+    out_targets: Vec<OutTarget>,
+    out_buffer: Vec<VecDeque<Buffered>>,
+    checkpoint: Option<Checkpoint>,
+    /// Progress at the instant the hosting node failed.
+    pre_failure_progress: Option<u64>,
+    /// Sink outputs a muted replica produced; promoted at takeover so the
+    /// record has no hole between the primary's death and the takeover.
+    pending_sink: Vec<SinkBatch>,
+    cpu: CpuStats,
+    throughput: crate::report::TaskThroughput,
+}
+
+impl TaskRt {
+    fn n_substreams(&self) -> usize {
+        self.sub_from.len()
+    }
+
+    /// Whether batch `b` can be processed.
+    fn ready(&self, b: u64) -> bool {
+        (0..self.n_substreams())
+            .all(|s| self.staged[s].contains_key(&b) || self.closed[s] > b)
+    }
+
+    fn buffered_tuples(&self) -> usize {
+        self.out_buffer
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|(_, t, _)| t.len())
+            .sum()
+    }
+}
+
+enum Msg {
+    Data { tuples: Arc<Vec<Tuple>>, degraded: bool, replay_for: Option<TaskIndex> },
+    /// Master-generated proxy punctuation closing batches `..=batch`.
+    Proxy,
+}
+
+enum Event {
+    SourceBatch { rt: Rt, batch: u64 },
+    Deliver { to: Rt, substream: usize, batch: u64, msg: Msg },
+    Checkpoint { rt: Rt },
+    ReplicaSync,
+    HeartbeatScan,
+    Failure { idx: usize },
+    RestoreDone { rt: Rt },
+    TakeoverDone { logical: usize },
+    ProxyTick,
+}
+
+/// The simulated cluster.
+pub struct Simulation {
+    graph: TaskGraph,
+    placement: Placement,
+    config: EngineConfig,
+    sched: Scheduler<Event>,
+    tasks: Vec<TaskRt>,
+    /// Replica slot of each logical task, if actively replicated.
+    replica_slot: Vec<Option<Rt>>,
+    /// Node CPU horizon.
+    node_busy: Vec<SimTime>,
+    node_alive: Vec<bool>,
+    failures: Vec<FailureSpec>,
+    recoveries: Vec<TaskRecovery>,
+    /// Index into `recoveries` per logical task.
+    recovery_of: Vec<Option<usize>>,
+    sink: Vec<SinkBatch>,
+    events: u64,
+    /// Fresh-UDF factories for Storm restarts, one per logical task.
+    fresh_udf: Vec<Option<Box<dyn Fn() -> Box<dyn Udf>>>>,
+    /// Storm-mode source buffer length in batches.
+    storm_buffer_batches: Option<u64>,
+    checkpoint_interval: Option<SimDuration>,
+}
+
+impl Simulation {
+    /// Builds the cluster for `query` under `placement` and `config`.
+    pub fn new(query: &Query, placement: Placement, config: EngineConfig) -> Self {
+        let graph = TaskGraph::new(query.topology().clone());
+        let n = graph.n_tasks();
+        assert_eq!(placement.primary.len(), n, "placement must cover every task");
+
+        // Flat substream layout per receiving task.
+        let sub_from: Vec<Vec<(usize, TaskIndex)>> = (0..n)
+            .map(|t| {
+                let mut subs = Vec::new();
+                for (stream, istream) in graph.inputs(TaskIndex(t)).iter().enumerate() {
+                    for &u in &istream.substreams {
+                        subs.push((stream, u));
+                    }
+                }
+                subs
+            })
+            .collect();
+
+        // Out targets with precomputed receiver substream indices.
+        let out_targets: Vec<Vec<OutTarget>> = (0..n)
+            .map(|t| {
+                let mut outs = Vec::new();
+                for (stream, ostream) in graph.outputs(TaskIndex(t)).iter().enumerate() {
+                    for &d in &ostream.targets {
+                        let to_substream = sub_from[d.0]
+                            .iter()
+                            .position(|&(s, u)| {
+                                u == TaskIndex(t)
+                                    && graph.inputs(d)[s].edge == ostream.edge
+                            })
+                            .expect("substream layout mismatch");
+                        outs.push(OutTarget { stream, to: d, to_substream });
+                    }
+                }
+                outs
+            })
+            .collect();
+
+        let (plan, checkpoint_interval) = match &config.mode {
+            FtMode::Ppa { plan, checkpoint_interval } => {
+                (Some(plan.clone()), *checkpoint_interval)
+            }
+            _ => (None, None),
+        };
+        let storm_buffer_batches = match &config.mode {
+            FtMode::SourceReplay { buffer } => Some(config.batches_in(*buffer).max(1)),
+            _ => None,
+        };
+
+        let mk_task = |t: usize, is_replica: bool, node: NodeId| -> TaskRt {
+            let logical = TaskIndex(t);
+            let op = graph.operator_of(logical);
+            let local = graph.local_index(logical);
+            let (udf, source): (Option<Box<dyn Udf>>, Option<Box<dyn SourceGen>>) =
+                if query.is_source(op) {
+                    (None, Some(query.make_source(op, local)))
+                } else {
+                    (Some(query.make_udf(op, local)), None)
+                };
+            TaskRt {
+                logical,
+                is_replica,
+                node,
+                status: Status::Running,
+                udf,
+                source,
+                sub_from: sub_from[t].clone(),
+                staged: vec![BTreeMap::new(); sub_from[t].len()],
+                closed: vec![0; sub_from[t].len()],
+                next_batch: 0,
+                outputs_enabled: !is_replica,
+                out_targets: out_targets[t].clone(),
+                out_buffer: vec![VecDeque::new(); out_targets[t].len()],
+                checkpoint: None,
+                pre_failure_progress: None,
+                pending_sink: Vec::new(),
+                cpu: CpuStats::default(),
+                throughput: crate::report::TaskThroughput::default(),
+            }
+        };
+
+        let mut tasks: Vec<TaskRt> = (0..n).map(|t| mk_task(t, false, placement.primary[t])).collect();
+        let mut replica_slot = vec![None; n];
+        if let Some(plan) = &plan {
+            for t in plan.iter() {
+                let slot = tasks.len();
+                tasks.push(mk_task(t.0, true, placement.standby[t.0]));
+                replica_slot[t.0] = Some(slot);
+            }
+        }
+
+        let fresh_udf: Vec<Option<Box<dyn Fn() -> Box<dyn Udf>>>> = (0..n)
+            .map(|t| {
+                let logical = TaskIndex(t);
+                let op = graph.operator_of(logical);
+                let local = graph.local_index(logical);
+                if query.is_source(op) {
+                    None
+                } else {
+                    // Rebuild a factory closure: Storm restarts need a fresh
+                    // (empty-state) UDF. We capture one prototype snapshot;
+                    // a fresh instance is a snapshot of the *initial* state.
+                    let proto = query.make_udf(op, local);
+                    Some(Box::new(move || proto.snapshot()) as Box<dyn Fn() -> Box<dyn Udf>>)
+                }
+            })
+            .collect();
+
+        let mut sim = Simulation {
+            sched: Scheduler::new(),
+            node_busy: vec![SimTime::ZERO; placement.n_nodes()],
+            node_alive: vec![true; placement.n_nodes()],
+            failures: Vec::new(),
+            recoveries: Vec::new(),
+            recovery_of: vec![None; n],
+            sink: Vec::new(),
+            events: 0,
+            tasks,
+            replica_slot,
+            graph,
+            placement,
+            fresh_udf,
+            storm_buffer_batches,
+            checkpoint_interval,
+            config,
+        };
+        sim.bootstrap();
+        sim
+    }
+
+    fn bootstrap(&mut self) {
+        let b = self.config.batch_interval;
+        // First batch of every source task materializes at t = B.
+        for t in 0..self.graph.n_tasks() {
+            if self.tasks[t].source.is_some() {
+                self.sched.at(SimTime::ZERO + b, Event::SourceBatch { rt: t, batch: 0 });
+                if let Some(slot) = self.replica_slot[t] {
+                    self.sched.at(SimTime::ZERO + b, Event::SourceBatch { rt: slot, batch: 0 });
+                }
+            }
+        }
+        // Heartbeat scans.
+        self.sched
+            .at(SimTime::ZERO + self.config.heartbeat_interval, Event::HeartbeatScan);
+        // Proxy ticks (only meaningful in PPA with tentative outputs).
+        if self.config.tentative_outputs {
+            self.sched.at(SimTime::ZERO + b, Event::ProxyTick);
+        }
+        // Checkpoints, staggered per task so correlated recovery sees
+        // asynchronous checkpoint ages (§V-B's synchronization effect).
+        if let Some(interval) = self.checkpoint_interval {
+            for t in 0..self.graph.n_tasks() {
+                let offset = SimDuration::from_micros(
+                    (t as u64).wrapping_mul(2_654_435_761) % interval.as_micros().max(1),
+                );
+                self.sched
+                    .at(SimTime::ZERO + interval + offset, Event::Checkpoint { rt: t });
+            }
+        }
+        // Replica syncs.
+        if self.replica_slot.iter().any(Option::is_some) {
+            self.sched.at(
+                SimTime::ZERO + self.config.replica_sync_interval,
+                Event::ReplicaSync,
+            );
+        }
+    }
+
+    /// Registers a failure injection (before or during a run).
+    pub fn inject(&mut self, spec: FailureSpec) {
+        let at = spec.at;
+        self.failures.push(spec);
+        let idx = self.failures.len() - 1;
+        self.sched.at(at.max(self.sched.now()), Event::Failure { idx });
+    }
+
+    /// Runs the simulation until virtual time `until` and returns the report.
+    pub fn run_until(&mut self, until: SimTime) -> RunReport {
+        while let Some((_, ev)) = self.sched.next_until(until) {
+            self.events += 1;
+            self.handle(ev);
+        }
+        RunReport {
+            recoveries: self.recoveries.clone(),
+            sink: self.sink.clone(),
+            cpu: self.tasks[..self.graph.n_tasks()].iter().map(|t| t.cpu).collect(),
+            throughput: self.tasks[..self.graph.n_tasks()]
+                .iter()
+                .map(|t| t.throughput)
+                .collect(),
+            events: self.events,
+            ended_at: until,
+        }
+    }
+
+    /// Convenience: build, inject, run.
+    pub fn run(
+        query: &Query,
+        placement: Placement,
+        config: EngineConfig,
+        failures: Vec<FailureSpec>,
+        duration: SimDuration,
+    ) -> RunReport {
+        let mut sim = Simulation::new(query, placement, config);
+        for f in failures {
+            sim.inject(f);
+        }
+        sim.run_until(SimTime::ZERO + duration)
+    }
+
+    /// The task graph the simulation runs.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    // ------------------------------------------------------------------
+    // CPU accounting
+    // ------------------------------------------------------------------
+
+    /// Reserves `work` on `node` starting no earlier than now; returns the
+    /// completion instant.
+    fn reserve(&mut self, node: NodeId, work: SimDuration) -> SimTime {
+        let start = self.node_busy[node].max(self.sched.now());
+        let finish = start + work;
+        self.node_busy[node] = finish;
+        finish
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::SourceBatch { rt, batch } => self.on_source_batch(rt, batch),
+            Event::Deliver { to, substream, batch, msg } => {
+                self.on_deliver(to, substream, batch, msg)
+            }
+            Event::Checkpoint { rt } => self.on_checkpoint(rt),
+            Event::ReplicaSync => self.on_replica_sync(),
+            Event::HeartbeatScan => self.on_heartbeat(),
+            Event::Failure { idx } => self.on_failure(idx),
+            Event::RestoreDone { rt } => self.on_restore_done(rt),
+            Event::TakeoverDone { logical } => self.on_takeover_done(logical),
+            Event::ProxyTick => self.on_proxy_tick(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    fn on_source_batch(&mut self, rt: Rt, batch: u64) {
+        // Always keep the cadence going; a dead source skips generation.
+        let next_at = self.sched.now() + self.config.batch_interval;
+        self.sched.at(next_at, Event::SourceBatch { rt, batch: batch + 1 });
+
+        if self.tasks[rt].status != Status::Running {
+            return;
+        }
+        self.generate_source_batch(rt, batch, false);
+    }
+
+    /// Generates one source batch; `regen` marks catch-up regeneration.
+    fn generate_source_batch(&mut self, rt: Rt, batch: u64, regen: bool) {
+        let tuples = self.tasks[rt].source.as_mut().expect("source task").batch(batch);
+        let cost = if regen {
+            self.config.costs.replay_per_tuple
+        } else {
+            self.config.costs.source_per_tuple
+        };
+        let work = cost * tuples.len() as u64;
+        let node = self.tasks[rt].node;
+        let finish = self.reserve(node, work);
+        self.tasks[rt].cpu.processing += work;
+        if !regen {
+            self.tasks[rt].throughput.tuples_out += tuples.len() as u64;
+        }
+        self.tasks[rt].next_batch = self.tasks[rt].next_batch.max(batch + 1);
+        self.emit(rt, batch, tuples, false, finish);
+        self.trim_storm_buffer(rt);
+    }
+
+    // ------------------------------------------------------------------
+    // Output emission
+    // ------------------------------------------------------------------
+
+    /// Partitions `tuples` across the task's out targets, buffers them and
+    /// (if outputs are enabled) schedules deliveries at `finish + latency`.
+    fn emit(&mut self, rt: Rt, batch: u64, tuples: Vec<Tuple>, degraded: bool, finish: SimTime) {
+        let n_targets = self.tasks[rt].out_targets.len();
+        if n_targets == 0 {
+            return;
+        }
+        // Per-stream target spans (targets of one stream are contiguous).
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n_targets];
+        {
+            let task = &self.tasks[rt];
+            let mut stream_spans: Vec<(usize, usize)> = Vec::new(); // (start, len)
+            let mut i = 0;
+            while i < n_targets {
+                let stream = task.out_targets[i].stream;
+                let start = i;
+                while i < n_targets && task.out_targets[i].stream == stream {
+                    i += 1;
+                }
+                stream_spans.push((start, i - start));
+            }
+            for &(start, len) in &stream_spans {
+                for t in &tuples {
+                    parts[start + route(t.key, len)].push(t.clone());
+                }
+            }
+        }
+        let outputs_enabled = self.tasks[rt].outputs_enabled;
+        let deliver_at = finish + self.config.costs.network_latency;
+        for (k, part) in parts.into_iter().enumerate() {
+            let part = Arc::new(part);
+            self.tasks[rt].out_buffer[k].push_back((batch, part.clone(), degraded));
+            if outputs_enabled {
+                let target = self.tasks[rt].out_targets[k].clone();
+                self.deliver_to_incarnations(
+                    target.to,
+                    target.to_substream,
+                    batch,
+                    part,
+                    degraded,
+                    None,
+                    deliver_at,
+                );
+            }
+        }
+    }
+
+    /// Schedules a Data delivery to the primary slot and replica slot (if
+    /// any) of a logical task.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_to_incarnations(
+        &mut self,
+        to: TaskIndex,
+        substream: usize,
+        batch: u64,
+        tuples: Arc<Vec<Tuple>>,
+        degraded: bool,
+        replay_for: Option<TaskIndex>,
+        at: SimTime,
+    ) {
+        self.sched.at(
+            at,
+            Event::Deliver {
+                to: to.0,
+                substream,
+                batch,
+                msg: Msg::Data { tuples: tuples.clone(), degraded, replay_for },
+            },
+        );
+        if let Some(slot) = self.replica_slot[to.0] {
+            self.sched.at(
+                at,
+                Event::Deliver {
+                    to: slot,
+                    substream,
+                    batch,
+                    msg: Msg::Data { tuples, degraded, replay_for },
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery + processing
+    // ------------------------------------------------------------------
+
+    fn on_deliver(&mut self, to: Rt, substream: usize, batch: u64, msg: Msg) {
+        match self.tasks[to].status {
+            // Memory of dead/loading incarnations is gone; upstream buffers
+            // (or checkpointed buffers) re-serve these batches after restore.
+            Status::Dead | Status::Restoring => return,
+            Status::Running | Status::CatchingUp => {}
+        }
+        match msg {
+            Msg::Proxy => {
+                let c = &mut self.tasks[to].closed[substream];
+                *c = (*c).max(batch + 1);
+            }
+            Msg::Data { tuples, degraded, replay_for } => {
+                // Storm replay forwarding: a hop that already processed this
+                // batch recharges reprocessing CPU and forwards its own
+                // buffered output toward the recovering task.
+                if let Some(target) = replay_for {
+                    if self.tasks[to].logical != target && batch < self.tasks[to].next_batch {
+                        self.forward_replay(to, batch, tuples.len(), target);
+                        return;
+                    }
+                }
+                if batch < self.tasks[to].next_batch
+                    || batch < self.tasks[to].closed[substream]
+                    || self.tasks[to].staged[substream].contains_key(&batch)
+                {
+                    return; // duplicate
+                }
+                self.tasks[to].staged[substream].insert(batch, (tuples, degraded));
+            }
+        }
+        self.try_process(to);
+    }
+
+    /// Storm-mode hop forwarding: charge replay CPU, forward the hop's own
+    /// buffered output for this batch along edges toward `target`.
+    fn forward_replay(&mut self, rt: Rt, batch: u64, in_tuples: usize, target: TaskIndex) {
+        let work = self.config.costs.replay_per_tuple * in_tuples as u64
+            + self.config.costs.batch_overhead;
+        let node = self.tasks[rt].node;
+        let finish = self.reserve(node, work);
+        self.tasks[rt].cpu.processing += work;
+        let deliver_at = finish + self.config.costs.network_latency;
+        let cone = self.upstream_cone(target);
+        // Collect (target info, payload) pairs first to satisfy borrowck.
+        let mut sends: Vec<(TaskIndex, usize, u64, Arc<Vec<Tuple>>)> = Vec::new();
+        {
+            let task = &self.tasks[rt];
+            for (k, tgt) in task.out_targets.iter().enumerate() {
+                if tgt.to != target && !cone[tgt.to.0] {
+                    continue;
+                }
+                if let Some((b, tuples, _)) =
+                    task.out_buffer[k].iter().find(|(b, _, _)| *b == batch)
+                {
+                    sends.push((tgt.to, tgt.to_substream, *b, tuples.clone()));
+                }
+            }
+        }
+        for (to, substream, b, tuples) in sends {
+            self.deliver_to_incarnations(to, substream, b, tuples, false, Some(target), deliver_at);
+        }
+    }
+
+    /// Logical tasks with a path to `t` (the replay cone), excluding `t`.
+    fn upstream_cone(&self, t: TaskIndex) -> Vec<bool> {
+        let mut cone = vec![false; self.graph.n_tasks()];
+        let mut stack = vec![t];
+        while let Some(x) = stack.pop() {
+            for u in self.graph.upstream_tasks(x) {
+                if !cone[u.0] {
+                    cone[u.0] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        cone
+    }
+
+    /// Processes as many consecutive ready batches as possible.
+    fn try_process(&mut self, rt: Rt) {
+        loop {
+            let b = self.tasks[rt].next_batch;
+            if !self.tasks[rt].ready(b) {
+                return;
+            }
+            self.process_batch(rt, b);
+        }
+    }
+
+    fn process_batch(&mut self, rt: Rt, b: u64) {
+        // Assemble per-stream inputs (round-robin merge across substreams).
+        let n_streams = self.graph.inputs(self.tasks[rt].logical).len();
+        let mut merged: Vec<Vec<Tuple>> = vec![Vec::new(); n_streams];
+        let mut degraded = false;
+        let mut total_in = 0usize;
+        {
+            let task = &mut self.tasks[rt];
+            // Gather this batch's substream data per stream.
+            let mut per_stream: Vec<Vec<Arc<Vec<Tuple>>>> = vec![Vec::new(); n_streams];
+            for s in 0..task.n_substreams() {
+                let (stream, _) = task.sub_from[s];
+                match task.staged[s].remove(&b) {
+                    Some((tuples, d)) => {
+                        degraded |= d;
+                        total_in += tuples.len();
+                        per_stream[stream].push(tuples);
+                    }
+                    None => {
+                        // Closed by proxy: missing contribution.
+                        debug_assert!(task.closed[s] > b);
+                        degraded = true;
+                    }
+                }
+                // Drop any stale staged batches below the cursor.
+                while let Some((&k, _)) = task.staged[s].iter().next() {
+                    if k <= b {
+                        task.staged[s].remove(&k);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            for (stream, chunks) in per_stream.into_iter().enumerate() {
+                if chunks.is_empty() {
+                    continue;
+                }
+                // Round-robin interleave for deterministic replica order.
+                let max_len = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+                let out = &mut merged[stream];
+                out.reserve(chunks.iter().map(|c| c.len()).sum());
+                for i in 0..max_len {
+                    for c in &chunks {
+                        if let Some(t) = c.get(i) {
+                            out.push(t.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // CPU charge.
+        let catching_up = self.tasks[rt].status == Status::CatchingUp;
+        let per_tuple = if catching_up {
+            self.config.costs.replay_per_tuple
+        } else {
+            self.config.costs.process_per_tuple
+        };
+        let work = self.config.costs.batch_overhead + per_tuple * total_in as u64;
+        let node = self.tasks[rt].node;
+        let finish = self.reserve(node, work);
+        self.tasks[rt].cpu.processing += work;
+        if !catching_up {
+            self.tasks[rt].throughput.tuples_in += total_in as u64;
+        }
+
+        // Run the UDF.
+        let mut out = Vec::new();
+        {
+            let task = &mut self.tasks[rt];
+            let op = self.graph.operator_of(task.logical);
+            let ctx = BatchCtx {
+                batch: b,
+                now: finish,
+                task_local: self.graph.local_index(task.logical),
+                parallelism: self.graph.topology().operator(op).parallelism,
+            };
+            let inputs: Vec<InputBatch<'_>> = merged
+                .iter()
+                .enumerate()
+                .map(|(stream, tuples)| InputBatch { stream, tuples })
+                .collect();
+            task.udf
+                .as_mut()
+                .expect("non-source task has a UDF")
+                .on_batch(&ctx, &inputs, &mut out);
+            task.next_batch = b + 1;
+        }
+        if !catching_up {
+            self.tasks[rt].throughput.tuples_out += out.len() as u64;
+        }
+
+        // Recovery completion check: progress vector dominated.
+        if catching_up {
+            if let Some(pre) = self.tasks[rt].pre_failure_progress {
+                if self.tasks[rt].next_batch >= pre {
+                    self.tasks[rt].status = Status::Running;
+                    let logical = self.tasks[rt].logical;
+                    if let Some(ri) = self.recovery_of[logical.0] {
+                        if self.recoveries[ri].recovered_at.is_none() {
+                            self.recoveries[ri].recovered_at = Some(finish);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sink collection: active incarnations record directly; muted sink
+        // replicas stash records so a takeover can backfill the gap between
+        // the primary's death and its own activation.
+        if self.graph.is_sink_task(self.tasks[rt].logical) {
+            let record = SinkBatch {
+                task: self.tasks[rt].logical,
+                batch: b,
+                at: finish,
+                tentative: degraded,
+                tuples: out.clone(),
+            };
+            if self.tasks[rt].outputs_enabled {
+                self.sink.push(record);
+            } else {
+                let task = &mut self.tasks[rt];
+                task.pending_sink.push(record);
+                // Bound the stash to the replica sync horizon.
+                if task.pending_sink.len() > 256 {
+                    task.pending_sink.remove(0);
+                }
+            }
+        }
+
+        self.emit(rt, b, out, degraded, finish);
+        self.trim_storm_buffer(rt);
+    }
+
+    /// Storm mode keeps only the replay window (plus a safety margin so a
+    /// recovering task's oldest needed batch is still forwardable by hops
+    /// whose cursors run slightly ahead) in output buffers.
+    fn trim_storm_buffer(&mut self, rt: Rt) {
+        if let Some(w) = self.storm_buffer_batches {
+            let task = &mut self.tasks[rt];
+            let min_keep = task.next_batch.saturating_sub(w + 5);
+            for q in &mut task.out_buffer {
+                while let Some((b, _, _)) = q.front() {
+                    if *b < min_keep {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints
+    // ------------------------------------------------------------------
+
+    fn on_checkpoint(&mut self, rt: Rt) {
+        if let Some(interval) = self.checkpoint_interval {
+            self.sched.after(interval, Event::Checkpoint { rt });
+        }
+        if self.tasks[rt].status != Status::Running {
+            return;
+        }
+        let state_tuples = self.tasks[rt].udf.as_ref().map_or(0, |u| u.state_tuples());
+        // Delta checkpoints serialize only what changed since the last
+        // snapshot; a sliding window turns over ~interval×rate tuples, so
+        // the billable size is the state growth plus churn, capped by the
+        // full state.
+        let billable = if self.config.costs.delta_checkpoints {
+            let prev = self.tasks[rt]
+                .checkpoint
+                .as_ref()
+                .map_or(0, |cp| cp.state_tuples);
+            let interval_batches = self
+                .checkpoint_interval
+                .map_or(1, |i| self.config.batches_in(i).max(1));
+            // Mean per-batch inflow from the task's own throughput counter.
+            let batches = self.tasks[rt].next_batch.max(1);
+            let per_batch = self.tasks[rt].throughput.tuples_in / batches;
+            let churn = (per_batch * interval_batches) as usize;
+            state_tuples.min(state_tuples.saturating_sub(prev) + churn)
+        } else {
+            state_tuples
+        };
+        let work = self.config.costs.checkpoint_base
+            + self.config.costs.checkpoint_per_state_tuple * billable as u64;
+        let node = self.tasks[rt].node;
+        let _finish = self.reserve(node, work);
+        self.tasks[rt].cpu.checkpoint += work;
+
+        let task = &self.tasks[rt];
+        let cp = Checkpoint {
+            batch: task.next_batch,
+            udf: task.udf.as_ref().map(|u| u.snapshot()),
+            out_buffer: task.out_buffer.clone(),
+            closed: task.closed.clone(),
+            state_tuples,
+        };
+        let ack_batch = task.next_batch;
+        let logical = task.logical;
+        self.tasks[rt].checkpoint = Some(cp);
+
+        // Upstream buffer trimming: everything this checkpoint covers can be
+        // dropped from the buffers feeding this task (§V-B).
+        let upstreams: Vec<TaskIndex> =
+            self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
+        for u in upstreams {
+            self.trim_buffers_for(u.0, logical, ack_batch);
+            if let Some(slot) = self.replica_slot[u.0] {
+                self.trim_buffers_for(slot, logical, ack_batch);
+            }
+        }
+    }
+
+    /// Drops `target`-bound buffered batches below `ack_batch` on slot `rt`.
+    fn trim_buffers_for(&mut self, rt: Rt, target: TaskIndex, ack_batch: u64) {
+        let task = &mut self.tasks[rt];
+        for (k, tgt) in task.out_targets.iter().enumerate() {
+            if tgt.to != target {
+                continue;
+            }
+            while let Some((b, _, _)) = task.out_buffer[k].front() {
+                if *b < ack_batch {
+                    task.out_buffer[k].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replica sync
+    // ------------------------------------------------------------------
+
+    fn on_replica_sync(&mut self) {
+        self.sched.after(self.config.replica_sync_interval, Event::ReplicaSync);
+        for t in 0..self.graph.n_tasks() {
+            let Some(slot) = self.replica_slot[t] else { continue };
+            if self.tasks[t].status != Status::Running
+                || self.tasks[slot].status != Status::Running
+                || self.tasks[slot].outputs_enabled
+            {
+                continue; // primary dead / replica activated: no more trims
+            }
+            // The primary's sent progress lets the replica trim its muted
+            // output buffer (§V-B "Active Replication").
+            let ack = self.tasks[t].next_batch;
+            let task = &mut self.tasks[slot];
+            for q in &mut task.out_buffer {
+                while let Some((b, _, _)) = q.front() {
+                    if *b < ack {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure, detection, recovery
+    // ------------------------------------------------------------------
+
+    fn on_failure(&mut self, idx: usize) {
+        let nodes = self.failures[idx].nodes.clone();
+        let now = self.sched.now();
+        for node in nodes {
+            if !self.node_alive[node] {
+                continue;
+            }
+            self.node_alive[node] = false;
+            for rt in 0..self.tasks.len() {
+                if self.tasks[rt].node == node && self.tasks[rt].status != Status::Dead {
+                    let task = &mut self.tasks[rt];
+                    task.status = Status::Dead;
+                    task.pre_failure_progress = Some(task.next_batch);
+                    for s in &mut task.staged {
+                        s.clear();
+                    }
+                    if !task.is_replica {
+                        // Provisional record; detection fills the rest.
+                        let logical = task.logical;
+                        if self.recovery_of[logical.0].is_none() {
+                            self.recovery_of[logical.0] = Some(self.recoveries.len());
+                            self.recoveries.push(TaskRecovery {
+                                task: logical,
+                                via_replica: false,
+                                failed_at: now,
+                                detected_at: SimTime::MAX,
+                                recovered_at: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self) {
+        self.sched.after(self.config.heartbeat_interval, Event::HeartbeatScan);
+        let now = self.sched.now();
+        for t in 0..self.graph.n_tasks() {
+            if self.tasks[t].status != Status::Dead {
+                continue;
+            }
+            let Some(ri) = self.recovery_of[t] else { continue };
+            if self.recoveries[ri].detected_at != SimTime::MAX {
+                continue; // already handled
+            }
+            self.recoveries[ri].detected_at = now;
+            self.start_recovery(t);
+        }
+    }
+
+    fn start_recovery(&mut self, t: usize) {
+        match &self.config.mode {
+            FtMode::None => { /* stays dead */ }
+            FtMode::Ppa { .. } => {
+                // Replica takeover if a live replica exists.
+                if let Some(slot) = self.replica_slot[t] {
+                    if self.tasks[slot].status == Status::Running {
+                        let buffered = self.tasks[slot].buffered_tuples();
+                        let work = self.config.costs.resend_per_tuple * buffered as u64
+                            + self.config.costs.batch_overhead;
+                        let node = self.tasks[slot].node;
+                        let finish = self.reserve(node, work);
+                        if let Some(ri) = self.recovery_of[t] {
+                            self.recoveries[ri].via_replica = true;
+                        }
+                        self.sched.at(finish, Event::TakeoverDone { logical: t });
+                        return;
+                    }
+                }
+                // Checkpoint restore on the standby node.
+                if !self.config.passive_recovery {
+                    return; // held down for steady-state tentative sampling
+                }
+                let standby = self.placement.standby[t];
+                let state = self.tasks[t]
+                    .checkpoint
+                    .as_ref()
+                    .map_or(0, |cp| cp.state_tuples);
+                let work = self.config.costs.state_load_per_tuple * state as u64
+                    + self.config.costs.batch_overhead;
+                self.tasks[t].status = Status::Restoring;
+                self.tasks[t].node = standby;
+                let finish = self.reserve(standby, work);
+                self.sched.at(finish, Event::RestoreDone { rt: t });
+            }
+            FtMode::SourceReplay { .. } => {
+                if !self.config.passive_recovery {
+                    return;
+                }
+                let standby = self.placement.standby[t];
+                self.tasks[t].status = Status::Restoring;
+                self.tasks[t].node = standby;
+                let work = self.config.costs.batch_overhead;
+                let finish = self.reserve(standby, work);
+                self.sched.at(finish, Event::RestoreDone { rt: t });
+            }
+        }
+    }
+
+    fn on_restore_done(&mut self, rt: Rt) {
+        match &self.config.mode {
+            FtMode::Ppa { .. } => self.restore_from_checkpoint(rt),
+            FtMode::SourceReplay { .. } => self.restore_storm(rt),
+            FtMode::None => {}
+        }
+    }
+
+    fn restore_from_checkpoint(&mut self, rt: Rt) {
+        let now = self.sched.now();
+        let is_source = self.tasks[rt].source.is_some();
+        {
+            let task = &mut self.tasks[rt];
+            match task.checkpoint.clone_parts() {
+                Some((batch, udf, out_buffer, closed)) => {
+                    task.next_batch = batch;
+                    if let Some(u) = udf {
+                        task.udf = Some(u);
+                    }
+                    task.out_buffer = out_buffer;
+                    task.closed = closed;
+                }
+                None => {
+                    // Never checkpointed: restart from scratch.
+                    task.next_batch = 0;
+                    for q in &mut task.out_buffer {
+                        q.clear();
+                    }
+                    for c in &mut task.closed {
+                        *c = 0;
+                    }
+                    if let Some(f) = &self.fresh_udf[task.logical.0] {
+                        task.udf = Some(f());
+                    }
+                }
+            }
+            for s in &mut task.staged {
+                s.clear();
+            }
+            task.status = Status::CatchingUp;
+        }
+
+        if is_source {
+            // Regenerate every missed batch (deterministic per batch id),
+            // then the task is caught up.
+            let current = self.current_batch();
+            let from = self.tasks[rt].next_batch;
+            for b in from..current {
+                self.generate_source_batch(rt, b, true);
+            }
+            self.tasks[rt].status = Status::Running;
+            let logical = self.tasks[rt].logical;
+            if let Some(ri) = self.recovery_of[logical.0] {
+                if self.recoveries[ri].recovered_at.is_none() {
+                    let at = self.node_busy[self.tasks[rt].node].max(now);
+                    self.recoveries[ri].recovered_at = Some(at);
+                }
+            }
+            return;
+        }
+
+        // Re-serve downstream from the restored output buffer.
+        self.flush_out_buffer(rt, now + self.config.costs.network_latency);
+
+        // Ask live upstream incarnations to replay everything at or past our
+        // restore cursor; dead upstreams will re-serve on their own restore.
+        let logical = self.tasks[rt].logical;
+        let cursor = self.tasks[rt].next_batch;
+        let upstreams: Vec<TaskIndex> =
+            self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
+        for u in upstreams {
+            let sender = self.active_slot(u.0);
+            if self.tasks[sender].status == Status::Running
+                || self.tasks[sender].status == Status::CatchingUp
+            {
+                self.resend_buffered(sender, logical, cursor, now + self.config.costs.network_latency);
+            }
+        }
+        self.try_process(rt);
+    }
+
+    fn restore_storm(&mut self, rt: Rt) {
+        let now = self.sched.now();
+        let w = self.storm_buffer_batches.unwrap_or(1);
+        let logical = self.tasks[rt].logical;
+        let is_source = self.tasks[rt].source.is_some();
+        {
+            let task = &mut self.tasks[rt];
+            let pre = task.pre_failure_progress.unwrap_or(0);
+            task.next_batch = pre.saturating_sub(w);
+            for q in &mut task.out_buffer {
+                q.clear();
+            }
+            for s in &mut task.staged {
+                s.clear();
+            }
+            for c in &mut task.closed {
+                *c = task.next_batch;
+            }
+            if let Some(f) = &self.fresh_udf[logical.0] {
+                task.udf = Some(f());
+            }
+            task.status = Status::CatchingUp;
+        }
+        if is_source {
+            let current = self.current_batch();
+            let from = self.tasks[rt].next_batch;
+            for b in from..current {
+                self.generate_source_batch(rt, b, true);
+            }
+            self.tasks[rt].status = Status::Running;
+            if let Some(ri) = self.recovery_of[logical.0] {
+                if self.recoveries[ri].recovered_at.is_none() {
+                    self.recoveries[ri].recovered_at =
+                        Some(self.node_busy[self.tasks[rt].node].max(now));
+                }
+            }
+            return;
+        }
+        // Sources replay their buffered window through the topology toward
+        // this task; hops forward with reprocessing charges.
+        let cone = self.upstream_cone(logical);
+        let cursor = self.tasks[rt].next_batch;
+        let deliver_at = now + self.config.costs.network_latency;
+        for s in 0..self.graph.n_tasks() {
+            if !cone[s] || self.tasks[s].source.is_none() {
+                continue;
+            }
+            if self.tasks[s].status == Status::Dead || self.tasks[s].status == Status::Restoring {
+                continue;
+            }
+            self.resend_buffered_replay(s, logical, cursor, deliver_at, &cone);
+        }
+    }
+
+    /// Re-sends slot `rt`'s buffered batches `>= cursor` addressed to
+    /// `target` (normal replay after checkpoint restore).
+    fn resend_buffered(&mut self, rt: Rt, target: TaskIndex, cursor: u64, at: SimTime) {
+        let mut sends: Vec<(usize, u64, Arc<Vec<Tuple>>, bool)> = Vec::new();
+        {
+            let task = &self.tasks[rt];
+            for (k, tgt) in task.out_targets.iter().enumerate() {
+                if tgt.to != target {
+                    continue;
+                }
+                for (b, tuples, degraded) in task.out_buffer[k].iter() {
+                    if *b >= cursor {
+                        sends.push((tgt.to_substream, *b, tuples.clone(), *degraded));
+                    }
+                }
+            }
+        }
+        for (substream, b, tuples, degraded) in sends {
+            self.deliver_to_incarnations(target, substream, b, tuples, degraded, None, at);
+        }
+    }
+
+    /// Storm replay: re-send buffered batches `>= cursor` along every edge
+    /// inside the cone (or directly to the target), flagged `replay_for`.
+    fn resend_buffered_replay(
+        &mut self,
+        rt: Rt,
+        target: TaskIndex,
+        cursor: u64,
+        at: SimTime,
+        cone: &[bool],
+    ) {
+        let mut sends: Vec<(TaskIndex, usize, u64, Arc<Vec<Tuple>>)> = Vec::new();
+        {
+            let task = &self.tasks[rt];
+            for (k, tgt) in task.out_targets.iter().enumerate() {
+                if tgt.to != target && !cone[tgt.to.0] {
+                    continue;
+                }
+                for (b, tuples, _) in task.out_buffer[k].iter() {
+                    if *b >= cursor {
+                        sends.push((tgt.to, tgt.to_substream, *b, tuples.clone()));
+                    }
+                }
+            }
+        }
+        for (to, substream, b, tuples) in sends {
+            self.deliver_to_incarnations(to, substream, b, tuples, false, Some(target), at);
+        }
+    }
+
+    /// Flushes a slot's entire output buffer downstream (dedup makes this
+    /// idempotent); used at replica takeover and checkpoint restore.
+    fn flush_out_buffer(&mut self, rt: Rt, at: SimTime) {
+        let mut sends: Vec<(TaskIndex, usize, u64, Arc<Vec<Tuple>>, bool)> = Vec::new();
+        {
+            let task = &self.tasks[rt];
+            for (k, tgt) in task.out_targets.iter().enumerate() {
+                for (b, tuples, degraded) in task.out_buffer[k].iter() {
+                    sends.push((tgt.to, tgt.to_substream, *b, tuples.clone(), *degraded));
+                }
+            }
+        }
+        for (to, substream, b, tuples, degraded) in sends {
+            self.deliver_to_incarnations(to, substream, b, tuples, degraded, None, at);
+        }
+    }
+
+    fn on_takeover_done(&mut self, logical: usize) {
+        let Some(slot) = self.replica_slot[logical] else { return };
+        if self.tasks[slot].status != Status::Running {
+            return; // replica died in the meantime
+        }
+        let now = self.sched.now();
+        self.tasks[slot].outputs_enabled = true;
+        self.flush_out_buffer(slot, now + self.config.costs.network_latency);
+        // Backfill sink records the muted replica produced after the
+        // primary stopped recording.
+        let cut = self.tasks[logical].pre_failure_progress.unwrap_or(0);
+        let pending = std::mem::take(&mut self.tasks[slot].pending_sink);
+        self.sink.extend(pending.into_iter().filter(|s| s.batch >= cut));
+        if let Some(ri) = self.recovery_of[logical] {
+            self.recoveries[ri].via_replica = true;
+            if self.recoveries[ri].recovered_at.is_none() {
+                self.recoveries[ri].recovered_at = Some(now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tentative outputs (proxy punctuations)
+    // ------------------------------------------------------------------
+
+    fn on_proxy_tick(&mut self) {
+        self.sched.after(self.config.batch_interval, Event::ProxyTick);
+        if !matches!(self.config.mode, FtMode::Ppa { .. }) {
+            return;
+        }
+        let frontier = self.current_batch().saturating_sub(1);
+        let at = self.sched.now() + self.config.costs.network_latency;
+        for t in 0..self.graph.n_tasks() {
+            // Proxy only failed, detected, not-yet-recovered tasks without a
+            // live activated replica.
+            if self.tasks[t].status == Status::Running {
+                continue;
+            }
+            if let Some(slot) = self.replica_slot[t] {
+                if self.tasks[slot].status == Status::Running {
+                    continue; // replica continues the stream
+                }
+            }
+            let Some(ri) = self.recovery_of[t] else { continue };
+            if self.recoveries[ri].detected_at == SimTime::MAX
+                || self.recoveries[ri].recovered_at.is_some()
+            {
+                continue;
+            }
+            let targets: Vec<(TaskIndex, usize)> = self.tasks[t]
+                .out_targets
+                .iter()
+                .map(|tgt| (tgt.to, tgt.to_substream))
+                .collect();
+            for (to, substream) in targets {
+                self.sched.at(
+                    at,
+                    Event::Deliver { to: to.0, substream, batch: frontier, msg: Msg::Proxy },
+                );
+                if let Some(slot) = self.replica_slot[to.0] {
+                    self.sched.at(
+                        at,
+                        Event::Deliver { to: slot, substream, batch: frontier, msg: Msg::Proxy },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The most recent batch id whose interval has fully elapsed.
+    fn current_batch(&self) -> u64 {
+        self.sched.now().as_micros() / self.config.batch_interval.as_micros()
+    }
+
+    /// The slot currently acting for a logical task (an activated replica,
+    /// or the primary slot otherwise).
+    fn active_slot(&self, logical: usize) -> Rt {
+        if let Some(slot) = self.replica_slot[logical] {
+            if self.tasks[slot].outputs_enabled && self.tasks[slot].status == Status::Running {
+                return slot;
+            }
+        }
+        logical
+    }
+}
+
+/// Helper on `Option<Checkpoint>` to clone its parts without fighting the
+/// borrow checker inside `restore_from_checkpoint`.
+trait CheckpointParts {
+    #[allow(clippy::type_complexity)]
+    fn clone_parts(
+        &self,
+    ) -> Option<(u64, Option<Box<dyn Udf>>, Vec<VecDeque<Buffered>>, Vec<u64>)>;
+}
+
+impl CheckpointParts for Option<Checkpoint> {
+    fn clone_parts(
+        &self,
+    ) -> Option<(u64, Option<Box<dyn Udf>>, Vec<VecDeque<Buffered>>, Vec<u64>)> {
+        self.as_ref().map(|cp| {
+            (
+                cp.batch,
+                cp.udf.as_ref().map(|u| u.snapshot()),
+                cp.out_buffer.clone(),
+                cp.closed.clone(),
+            )
+        })
+    }
+}
+
+impl Clone for Checkpoint {
+    fn clone(&self) -> Self {
+        Checkpoint {
+            batch: self.batch,
+            udf: self.udf.as_ref().map(|u| u.snapshot()),
+            out_buffer: self.out_buffer.clone(),
+            closed: self.closed.clone(),
+            state_tuples: self.state_tuples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

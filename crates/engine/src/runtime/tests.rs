@@ -1,0 +1,520 @@
+//! End-to-end protocol tests for the simulated cluster: dataflow, batch
+//! gating, checkpoint restore, replica takeover, Storm replay, tentative
+//! outputs, determinism.
+
+use super::*;
+use crate::config::{CostModel, EngineConfig, FtMode};
+use crate::placement::Placement;
+use crate::query::{Query, QueryBuilder};
+use crate::udf::{BatchCtx, CountingSource, InputBatch, Udf, WindowBuffer};
+use ppa_core::model::{OperatorSpec, Partitioning};
+use ppa_core::TaskSet;
+
+/// A stateful pass-through holding a sliding window of its input — the
+/// shape of the paper's synthetic operators (state grows with window×rate).
+#[derive(Clone)]
+struct WindowedPass {
+    window_batches: u64,
+    buf: WindowBuffer,
+}
+
+impl WindowedPass {
+    fn new(window_batches: u64) -> Self {
+        WindowedPass { window_batches, buf: WindowBuffer::new() }
+    }
+}
+
+impl Udf for WindowedPass {
+    fn on_batch(&mut self, ctx: &BatchCtx, inputs: &[InputBatch<'_>], out: &mut Vec<Tuple>) {
+        let mut all = Vec::new();
+        for i in inputs {
+            all.extend_from_slice(i.tuples);
+        }
+        out.extend(all.iter().cloned());
+        self.buf.push(ctx.batch, all, self.window_batches);
+    }
+
+    fn snapshot(&self) -> Box<dyn Udf> {
+        Box::new(self.clone())
+    }
+
+    fn state_tuples(&self) -> usize {
+        self.buf.len_tuples()
+    }
+}
+
+/// source(2 tasks) -> mid(2, one-to-one) -> sink(1, merge).
+fn chain_query(per_batch: usize, window_batches: u64) -> Query {
+    let mut q = QueryBuilder::new();
+    let s = q.add_source(OperatorSpec::source("src", 2, per_batch as f64), move |task| {
+        Box::new(CountingSource { per_batch, seed: 1000 + task as u64, key_space: 256 })
+    });
+    let m = q.add_operator(OperatorSpec::map("mid", 2, 1.0), move |_| {
+        Box::new(WindowedPass::new(window_batches))
+    });
+    let k = q.add_operator(OperatorSpec::map("sink", 1, 1.0), move |_| {
+        Box::new(WindowedPass::new(window_batches))
+    });
+    q.connect(s, m, Partitioning::OneToOne).unwrap();
+    q.connect(m, k, Partitioning::Merge).unwrap();
+    q.build().unwrap()
+}
+
+fn one_task_per_node(q: &Query) -> Placement {
+    let graph = ppa_core::model::TaskGraph::new(q.topology().clone());
+    let n = graph.n_tasks();
+    Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n)
+}
+
+fn base_config(mode: FtMode) -> EngineConfig {
+    EngineConfig { mode, ..EngineConfig::default() }
+}
+
+/// Node hosting the primary of task `t` under one-task-per-node placement.
+fn node_of(t: usize) -> usize {
+    t
+}
+
+#[test]
+fn data_flows_to_the_sink() {
+    let q = chain_query(100, 5);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::None),
+        vec![],
+        SimDuration::from_secs(10),
+    );
+    assert!(!report.sink.is_empty());
+    // Every sink batch merges both sources via the two mids: 200 tuples.
+    for s in &report.sink {
+        assert_eq!(s.tuples.len(), 200, "batch {}", s.batch);
+        assert!(!s.tentative);
+    }
+    // Batches are recorded in order without gaps.
+    let batches: Vec<u64> = report.sink.iter().map(|s| s.batch).collect();
+    let expect: Vec<u64> = (0..batches.len() as u64).collect();
+    assert_eq!(batches, expect);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let digest = |rep: &RunReport| -> Vec<(u64, usize, bool)> {
+        rep.sink.iter().map(|s| (s.batch, s.tuples.len(), s.tentative)).collect()
+    };
+    let q = chain_query(50, 5);
+    let a = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![FailureSpec { at: SimTime::from_secs(12), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(40),
+    );
+    let q2 = chain_query(50, 5);
+    let b = Simulation::run(
+        &q2,
+        one_task_per_node(&q2),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![FailureSpec { at: SimTime::from_secs(12), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(40),
+    );
+    assert_eq!(digest(&a), digest(&b));
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn checkpoint_recovery_restores_progress() {
+    let q = chain_query(100, 10);
+    // Kill the node hosting mid task 0 (task index 2) at t=14s.
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(60),
+    );
+    assert_eq!(report.recoveries.len(), 1);
+    let r = &report.recoveries[0];
+    assert_eq!(r.task, TaskIndex(2));
+    assert!(!r.via_replica);
+    // Detection on the next 5s heartbeat boundary after the failure.
+    assert_eq!(r.detected_at, SimTime::from_secs(15));
+    let latency = r.latency().expect("must recover within the run");
+    assert!(latency > SimDuration::ZERO);
+    assert!(
+        latency < SimDuration::from_secs(30),
+        "recovery took {latency} — replay backlog too slow"
+    );
+    // After full recovery the sink produces complete batches again.
+    let recovered_at = r.recovered_at.unwrap();
+    let late: Vec<_> = report
+        .sink
+        .iter()
+        .filter(|s| s.at > recovered_at + SimDuration::from_secs(10))
+        .collect();
+    assert!(!late.is_empty());
+    assert!(late.iter().all(|s| s.tuples.len() == 200 && !s.tentative));
+}
+
+#[test]
+fn tentative_outputs_flow_during_recovery() {
+    let q = chain_query(100, 10);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
+        vec![FailureSpec { at: SimTime::from_secs(21), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(80),
+    );
+    // Between detection and recovery the sink keeps producing, flagged
+    // tentative and with only half the data (one mid lost).
+    let tentative: Vec<_> = report.sink.iter().filter(|s| s.tentative).collect();
+    assert!(!tentative.is_empty(), "proxy punctuations must unblock the sink");
+    for s in &tentative {
+        assert_eq!(s.tuples.len(), 100, "half the input is missing");
+    }
+    // The first tentative output arrives quickly after detection (≪ full
+    // recovery — the conclusion's headline effect).
+    let detected = report.recoveries[0].detected_at;
+    let first_tentative = report.first_tentative_after(detected).unwrap();
+    let recovered = report.recoveries[0].recovered_at.unwrap();
+    assert!(first_tentative < recovered);
+    assert!(first_tentative.since(detected) < SimDuration::from_secs(3));
+}
+
+#[test]
+fn no_tentative_outputs_when_disabled() {
+    let q = chain_query(100, 10);
+    let mut config = base_config(FtMode::checkpoint(5, SimDuration::from_secs(15)));
+    config.tentative_outputs = false;
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        config,
+        vec![FailureSpec { at: SimTime::from_secs(21), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(80),
+    );
+    assert!(report.sink.iter().all(|s| !s.tentative));
+    // The sink simply stalls until the mid recovers, then catches up with
+    // complete batches.
+    assert!(report.sink.iter().all(|s| s.tuples.len() == 200));
+}
+
+#[test]
+fn replica_takeover_is_fast() {
+    let q = chain_query(100, 10);
+    let n = 5;
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::active(n)),
+        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(40),
+    );
+    let r = &report.recoveries[0];
+    assert!(r.via_replica);
+    let active_latency = r.latency().unwrap();
+    assert!(
+        active_latency < SimDuration::from_secs(1),
+        "takeover should be near-instant, got {active_latency}"
+    );
+    // The sink never misses a batch: the replica backfills.
+    let batches: Vec<u64> = {
+        let mut b: Vec<u64> = report.sink.iter().map(|s| s.batch).collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    };
+    let expect: Vec<u64> = (0..*batches.last().unwrap() + 1).collect();
+    assert_eq!(batches, expect, "no sink gaps across the takeover");
+}
+
+#[test]
+fn active_beats_checkpoint_on_latency() {
+    let q = chain_query(100, 10);
+    let active = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::active(5)),
+        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(60),
+    );
+    let q2 = chain_query(100, 10);
+    let passive = Simulation::run(
+        &q2,
+        one_task_per_node(&q2),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
+        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(60),
+    );
+    let a = active.recoveries[0].latency().unwrap();
+    let p = passive.recoveries[0].latency().unwrap();
+    assert!(a < p, "active {a} must beat passive {p}");
+}
+
+#[test]
+fn longer_checkpoint_interval_slows_recovery() {
+    let lat = |interval: u64| {
+        let q = chain_query(100, 10);
+        let rep = Simulation::run(
+            &q,
+            one_task_per_node(&q),
+            base_config(FtMode::checkpoint(5, SimDuration::from_secs(interval))),
+            vec![FailureSpec { at: SimTime::from_secs(33), nodes: vec![node_of(2)] }],
+            SimDuration::from_secs(120),
+        );
+        rep.recoveries[0].latency().expect("recovers")
+    };
+    let fast = lat(5);
+    let slow = lat(30);
+    assert!(
+        slow > fast,
+        "30s checkpoints ({slow}) must recover slower than 5s ({fast})"
+    );
+}
+
+#[test]
+fn checkpoint_cpu_ratio_grows_with_frequency() {
+    let ratio = |interval: u64| {
+        let q = chain_query(200, 20);
+        let rep = Simulation::run(
+            &q,
+            one_task_per_node(&q),
+            base_config(FtMode::checkpoint(5, SimDuration::from_secs(interval))),
+            vec![],
+            SimDuration::from_secs(60),
+        );
+        // Mid task 0 (task 2) is a stateful windowed op.
+        rep.cpu[2].checkpoint_ratio()
+    };
+    let frequent = ratio(1);
+    let rare = ratio(15);
+    assert!(frequent > rare, "1s interval ({frequent}) must cost more than 15s ({rare})");
+    assert!(frequent > 0.0 && rare > 0.0);
+}
+
+#[test]
+fn storm_source_replay_recovers() {
+    let q = chain_query(100, 8);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::SourceReplay { buffer: SimDuration::from_secs(10) }),
+        vec![FailureSpec { at: SimTime::from_secs(22), nodes: vec![node_of(2)] }],
+        SimDuration::from_secs(80),
+    );
+    let r = &report.recoveries[0];
+    assert!(r.recovered_at.is_some(), "storm replay must complete");
+    assert!(!r.via_replica);
+    // After recovery the sink is whole again.
+    let recovered = r.recovered_at.unwrap();
+    let late: Vec<_> = report
+        .sink
+        .iter()
+        .filter(|s| s.at > recovered + SimDuration::from_secs(10))
+        .collect();
+    assert!(!late.is_empty());
+    assert!(late.iter().all(|s| s.tuples.len() == 200));
+}
+
+#[test]
+fn storm_replay_reaches_deep_tasks_through_hops() {
+    // Kill the sink: replay must cascade source -> mid -> sink.
+    let q = chain_query(100, 8);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::SourceReplay { buffer: SimDuration::from_secs(10) }),
+        vec![FailureSpec { at: SimTime::from_secs(22), nodes: vec![node_of(4)] }],
+        SimDuration::from_secs(80),
+    );
+    let r = &report.recoveries[0];
+    assert_eq!(r.task, TaskIndex(4));
+    assert!(r.recovered_at.is_some(), "deep task must recover via hop forwarding");
+}
+
+#[test]
+fn correlated_failure_recovers_all_tasks() {
+    let q = chain_query(100, 10);
+    // Kill all three non-source nodes simultaneously.
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2), node_of(3), node_of(4)],
+        }],
+        SimDuration::from_secs(120),
+    );
+    assert_eq!(report.recoveries.len(), 3);
+    for r in &report.recoveries {
+        assert!(r.recovered_at.is_some(), "task {:?} stuck", r.task);
+    }
+    // Downstream recovery is gated by upstream regeneration: the sink's
+    // completion can be no earlier than its upstream mid's.
+    let rec_of = |t: usize| {
+        report
+            .recoveries
+            .iter()
+            .find(|r| r.task == TaskIndex(t))
+            .and_then(|r| r.recovered_at)
+            .unwrap()
+    };
+    assert!(rec_of(4) >= rec_of(2).min(rec_of(3)));
+}
+
+#[test]
+fn correlated_recovery_is_slower_than_single(){
+    let single = {
+        let q = chain_query(100, 10);
+        Simulation::run(
+            &q,
+            one_task_per_node(&q),
+            base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
+            vec![FailureSpec { at: SimTime::from_secs(33), nodes: vec![node_of(2)] }],
+            SimDuration::from_secs(150),
+        )
+    };
+    let correlated = {
+        let q = chain_query(100, 10);
+        Simulation::run(
+            &q,
+            one_task_per_node(&q),
+            base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
+            vec![FailureSpec {
+                at: SimTime::from_secs(33),
+                nodes: vec![node_of(2), node_of(3), node_of(4)],
+            }],
+            SimDuration::from_secs(150),
+        )
+    };
+    let s = single.mean_recovery_latency().unwrap();
+    let c = correlated.mean_recovery_latency().unwrap();
+    assert!(c > s, "correlated ({c}) must exceed single ({s})");
+}
+
+#[test]
+fn partial_plan_recovers_replicated_tasks_first() {
+    let q = chain_query(100, 10);
+    // Replicate the sink-side MC-tree: source 0, mid 0, sink.
+    let plan = TaskSet::from_tasks(5, [TaskIndex(0), TaskIndex(2), TaskIndex(4)]);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::ppa(plan, SimDuration::from_secs(15))),
+        vec![FailureSpec {
+            at: SimTime::from_secs(33),
+            nodes: vec![node_of(2), node_of(3), node_of(4)],
+        }],
+        SimDuration::from_secs(150),
+    );
+    let by_task = |t: usize| {
+        report
+            .recoveries
+            .iter()
+            .find(|r| r.task == TaskIndex(t))
+            .unwrap()
+    };
+    assert!(by_task(2).via_replica);
+    assert!(by_task(4).via_replica);
+    assert!(!by_task(3).via_replica);
+    assert!(by_task(2).latency().unwrap() < by_task(3).latency().unwrap());
+    // Tentative outputs during mid-1's passive recovery carry only the
+    // replicated half.
+    let tentative: Vec<_> = report.sink.iter().filter(|s| s.tentative).collect();
+    assert!(!tentative.is_empty());
+    assert!(tentative.iter().all(|s| s.tuples.len() == 100));
+}
+
+#[test]
+fn failed_source_recovers_by_regeneration() {
+    let q = chain_query(100, 10);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(0)] }],
+        SimDuration::from_secs(60),
+    );
+    let r = &report.recoveries[0];
+    assert_eq!(r.task, TaskIndex(0));
+    assert!(r.recovered_at.is_some());
+    // Sink is whole again at the end.
+    let last = report.sink.last().unwrap();
+    assert_eq!(last.tuples.len(), 200);
+}
+
+#[test]
+fn cost_model_sanity_under_load() {
+    // Even at 2000 tuples/s per source the pipeline keeps up: sink batch b
+    // arrives within a few batch intervals of (b+1)·B.
+    let q = chain_query(2000, 10);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        vec![],
+        SimDuration::from_secs(30),
+    );
+    for s in &report.sink {
+        let deadline = SimTime::from_secs(s.batch + 4);
+        assert!(
+            s.at <= deadline,
+            "batch {} emitted at {} — pipeline cannot keep up",
+            s.batch,
+            s.at
+        );
+    }
+    let _ = CostModel::default();
+}
+
+#[test]
+fn delta_checkpoints_cut_checkpoint_cpu() {
+    let ratio = |delta: bool| {
+        let q = chain_query(400, 30); // long window: big full-state snapshots
+        let mut config = base_config(FtMode::checkpoint(5, SimDuration::from_secs(1)));
+        config.costs.delta_checkpoints = delta;
+        let rep = Simulation::run(
+            &q,
+            one_task_per_node(&q),
+            config,
+            vec![],
+            SimDuration::from_secs(60),
+        );
+        rep.cpu[2].checkpoint_ratio()
+    };
+    let full = ratio(false);
+    let delta = ratio(true);
+    assert!(
+        delta < full * 0.5,
+        "delta checkpoints must slash the 1s-interval cost: {delta} vs {full}"
+    );
+    assert!(delta > 0.0);
+}
+
+#[test]
+fn dead_replica_falls_back_to_checkpoint_recovery() {
+    // Kill the primary's node AND its replica's standby node: recovery must
+    // fall back to the passive path and still complete.
+    let q = chain_query(100, 10);
+    let report = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::Ppa {
+            plan: TaskSet::full(5),
+            checkpoint_interval: Some(SimDuration::from_secs(5)),
+        }),
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            // task 2's primary node and its standby (one-task-per-node
+            // placement puts the replica of task t on node n + t).
+            nodes: vec![2, 5 + 2],
+        }],
+        SimDuration::from_secs(60),
+    );
+    let r = &report.recoveries[0];
+    assert_eq!(r.task, TaskIndex(2));
+    assert!(!r.via_replica, "replica died with its node");
+    assert!(r.recovered_at.is_some(), "checkpoint fallback must recover");
+}

@@ -1,0 +1,144 @@
+//! Data items: key–value tuples (§II-A).
+//!
+//! The paper models a data item as a key plus an opaque value blob. We keep
+//! keys as 64-bit integers (workloads hash their natural keys into them) and
+//! values as a small enum covering what the evaluation workloads carry.
+
+use std::sync::Arc;
+
+/// Tuple key. The engine partitions substreams by `Key` hash.
+pub type Key = u64;
+
+/// Value payloads used by the evaluation workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Pure presence (e.g. an access-log hit).
+    Empty,
+    /// A counter or id.
+    Int(i64),
+    /// A measurement (e.g. vehicle speed).
+    Float(f64),
+    /// Two related integers (e.g. user id + speed).
+    Pair(i64, i64),
+    /// A small aggregate: (key, count) pairs, e.g. a top-k digest.
+    Counts(Arc<[(u64, i64)]>),
+}
+
+impl Value {
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Pair payload, if this is a `Pair`.
+    pub fn as_pair(&self) -> Option<(i64, i64)> {
+        match self {
+            Value::Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// Counts payload, if this is a `Counts`.
+    pub fn as_counts(&self) -> Option<&[(u64, i64)]> {
+        match self {
+            Value::Counts(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One data item flowing through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    pub key: Key,
+    pub value: Value,
+}
+
+impl Tuple {
+    pub fn new(key: Key, value: Value) -> Self {
+        Tuple { key, value }
+    }
+
+    /// A key-only tuple.
+    pub fn key_only(key: Key) -> Self {
+        Tuple { key, value: Value::Empty }
+    }
+}
+
+/// The deterministic key hash used for substream partitioning.
+///
+/// SplitMix64: fast, well mixed, and stable across platforms — partitioning
+/// must agree between a primary and its replica and across runs.
+#[inline]
+pub fn hash_key(key: Key) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Index of the target that `key` routes to among `n` targets.
+#[inline]
+pub fn route(key: Key, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (hash_key(key) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Tuple::new(1, Value::Int(5)).value.as_int(), Some(5));
+        assert_eq!(Tuple::key_only(2).value, Value::Empty);
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Pair(3, 4).as_pair(), Some((3, 4)));
+        assert_eq!(Value::Int(1).as_float(), None);
+        let c = Value::Counts(vec![(1, 2)].into());
+        assert_eq!(c.as_counts().unwrap()[0], (1, 2));
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let r = route(key, 7);
+            assert!(r < 7);
+            assert_eq!(r, route(key, 7), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for key in 0..10_000u64 {
+            counts[route(key, n)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 2500.0).abs() < 400.0,
+                "hash routing should be roughly uniform: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_differs_from_identity() {
+        // Sequential keys must not map to sequential buckets.
+        let direct: Vec<usize> = (0..8u64).map(|k| (k % 4) as usize).collect();
+        let hashed: Vec<usize> = (0..8u64).map(|k| route(k, 4)).collect();
+        assert_ne!(direct, hashed);
+    }
+}

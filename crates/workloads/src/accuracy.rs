@@ -1,0 +1,151 @@
+//! The paper's query-accuracy functions (§VI-B): compare the tentative
+//! outputs of a failure run (`ST`) against the accurate outputs of a golden
+//! run (`SA`): `accuracy = |ST ∩ SA| / |SA|`.
+//!
+//! Comparisons are windowed: only sink batches whose batch id falls in
+//! `[from_batch, to_batch)` participate — the harness passes the failure
+//! detection batch and the end of the measurement window.
+
+use crate::navigation::jam_set;
+use crate::worldcup::topk_set;
+use ppa_engine::RunReport;
+use std::collections::BTreeSet;
+
+/// Generic set-overlap accuracy between two runs' sink outputs, with a
+/// per-batch extractor mapping sink tuples to comparable items.
+pub fn sink_set_accuracy<T: Ord + Clone>(
+    golden: &RunReport,
+    tentative: &RunReport,
+    from_batch: u64,
+    to_batch: u64,
+    extract: impl Fn(&ppa_engine::SinkBatch) -> Vec<T>,
+) -> f64 {
+    let collect = |rep: &RunReport| -> BTreeSet<T> {
+        rep.sink
+            .iter()
+            .filter(|s| (from_batch..to_batch).contains(&s.batch))
+            .flat_map(|s| extract(s).into_iter())
+            .collect()
+    };
+    let sa = collect(golden);
+    let st = collect(tentative);
+    if sa.is_empty() {
+        // No accurate output in the window: nothing to lose.
+        return 1.0;
+    }
+    st.intersection(&sa).count() as f64 / sa.len() as f64
+}
+
+/// Q1 accuracy: mean per-batch overlap of the tentative top-k set with the
+/// accurate top-k set. Batches the tentative run never emitted count as 0
+/// (the sink was down and produced nothing).
+pub fn topk_accuracy(
+    golden: &RunReport,
+    tentative: &RunReport,
+    from_batch: u64,
+    to_batch: u64,
+) -> f64 {
+    let mut per_batch = Vec::new();
+    for b in from_batch..to_batch {
+        let sa: BTreeSet<u64> =
+            golden.sink_batches(b).flat_map(|s| topk_set(&s.tuples)).collect();
+        if sa.is_empty() {
+            continue;
+        }
+        let st: BTreeSet<u64> =
+            tentative.sink_batches(b).flat_map(|s| topk_set(&s.tuples)).collect();
+        per_batch.push(st.intersection(&sa).count() as f64 / sa.len() as f64);
+    }
+    if per_batch.is_empty() {
+        return 1.0;
+    }
+    per_batch.iter().sum::<f64>() / per_batch.len() as f64
+}
+
+/// Q2 accuracy: overlap of detected incident sets `(segment, incident)` in
+/// the window — `|IT ∩ IA| / |IA|`.
+pub fn incident_accuracy(
+    golden: &RunReport,
+    tentative: &RunReport,
+    from_batch: u64,
+    to_batch: u64,
+) -> f64 {
+    sink_set_accuracy(golden, tentative, from_batch, to_batch, |s| jam_set(&s.tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::model::TaskIndex;
+    use ppa_engine::{SinkBatch, Tuple, Value};
+    use ppa_sim::SimTime;
+    use std::sync::Arc;
+
+    fn report_with(batches: Vec<(u64, Vec<Tuple>)>) -> RunReport {
+        let mut rep = RunReport::default();
+        for (batch, tuples) in batches {
+            rep.sink.push(SinkBatch {
+                task: TaskIndex(0),
+                batch,
+                at: SimTime::from_secs(batch),
+                tentative: false,
+                tuples,
+            });
+        }
+        rep
+    }
+
+    fn digest(keys: &[u64]) -> Vec<Tuple> {
+        let counts: Vec<(u64, i64)> = keys.iter().map(|&k| (k, 1)).collect();
+        vec![Tuple::new(0, Value::Counts(Arc::from(counts)))]
+    }
+
+    #[test]
+    fn topk_accuracy_full_overlap_is_one() {
+        let g = report_with(vec![(5, digest(&[1, 2, 3, 4]))]);
+        let t = report_with(vec![(5, digest(&[1, 2, 3, 4]))]);
+        assert!((topk_accuracy(&g, &t, 5, 6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_accuracy_half_overlap() {
+        let g = report_with(vec![(5, digest(&[1, 2, 3, 4]))]);
+        let t = report_with(vec![(5, digest(&[1, 2, 9, 8]))]);
+        assert!((topk_accuracy(&g, &t, 5, 6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_missing_batches_count_zero() {
+        let g = report_with(vec![(5, digest(&[1, 2])), (6, digest(&[1, 2]))]);
+        let t = report_with(vec![(5, digest(&[1, 2]))]); // batch 6 missing
+        assert!((topk_accuracy(&g, &t, 5, 7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incident_accuracy_uses_pair_sets() {
+        let jam = |seg: u64, id: i64| Tuple::new(seg, Value::Int(id));
+        let g = report_with(vec![(3, vec![jam(1, 10), jam(2, 11)])]);
+        let t = report_with(vec![(3, vec![jam(1, 10)])]);
+        assert!((incident_accuracy(&g, &t, 0, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_golden_window_is_perfect() {
+        let g = report_with(vec![]);
+        let t = report_with(vec![]);
+        assert_eq!(incident_accuracy(&g, &t, 0, 10), 1.0);
+        assert_eq!(topk_accuracy(&g, &t, 0, 10), 1.0);
+    }
+
+    #[test]
+    fn window_bounds_are_respected() {
+        let jam = |seg: u64, id: i64| Tuple::new(seg, Value::Int(id));
+        let g = report_with(vec![(3, vec![jam(1, 10)]), (20, vec![jam(2, 11)])]);
+        let t = report_with(vec![(3, vec![jam(1, 10)])]);
+        // Batch 20 is outside [0, 10): full accuracy.
+        assert_eq!(incident_accuracy(&g, &t, 0, 10), 1.0);
+        // Including it halves nothing — tentative still finds jam(1,10) of
+        // the two golden jams.
+        assert!((incident_accuracy(&g, &t, 0, 30) - 0.5).abs() < 1e-12);
+    }
+}

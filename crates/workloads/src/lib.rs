@@ -1,0 +1,101 @@
+//! # ppa-workloads — the paper's evaluation workloads
+//!
+//! * [`synthetic`] — the Fig. 6 topology used in the recovery-efficiency
+//!   experiments (§VI-A): 16 source tasks on 4 nodes feeding 4 synthetic
+//!   sliding-window operators (8/4/2/1 tasks) on 15 nodes, with 15 standby
+//!   nodes.
+//! * [`worldcup`] — Q1 (§VI-B): a hierarchical top-100 aggregation over a
+//!   WorldCup'98-style access log. The original trace is not redistributable,
+//!   so a Zipf-popularity synthetic log generator stands in (see DESIGN.md
+//!   §4 — only the (server, object) shape matters to the query).
+//! * [`navigation`] — Q2 (§VI-B): traffic-incident detection over a
+//!   community-based navigation feed: a user-location stream joined with a
+//!   user-reported incident stream (both synthetic, as in the paper).
+//! * [`accuracy`] — the paper's query-accuracy functions
+//!   (`|ST ∩ SA| / |SA|`) comparing tentative runs against golden runs.
+
+pub mod accuracy;
+pub mod navigation;
+pub mod synthetic;
+pub mod worldcup;
+pub mod zipf;
+
+pub use accuracy::{incident_accuracy, sink_set_accuracy, topk_accuracy};
+pub use navigation::{NavigationConfig, q2_scenario};
+pub use synthetic::{Fig6Config, fig6_scenario};
+pub use worldcup::{Q1Config, q1_scenario};
+
+use ppa_core::model::TaskGraph;
+use ppa_engine::{Placement, Query};
+
+/// A ready-to-run workload: query + placement + the worker nodes whose
+/// simultaneous death is the paper's correlated failure.
+pub struct Scenario {
+    pub query: Query,
+    pub placement: Placement,
+    /// Nodes hosting the non-source tasks (the correlated-failure kill set;
+    /// source nodes survive, as in §VI-A).
+    pub worker_kill_set: Vec<usize>,
+}
+
+impl Scenario {
+    /// The task graph of the scenario's query.
+    pub fn graph(&self) -> TaskGraph {
+        TaskGraph::new(self.query.topology().clone())
+    }
+}
+
+/// Places every source task on shared source nodes (4 tasks per node) and
+/// every other task on its own worker node, with one standby node per task,
+/// mirroring the paper's layout.
+pub(crate) fn dedicated_placement(graph: &TaskGraph) -> (Placement, Vec<usize>) {
+    let n = graph.n_tasks();
+    let mut primary = vec![0usize; n];
+    let mut next_source_slot = 0usize;
+    let mut worker_nodes: Vec<usize> = Vec::new();
+
+    let n_source_tasks = graph.source_tasks().len();
+    let n_source_nodes = n_source_tasks.div_ceil(4).max(1);
+    let mut next_worker = n_source_nodes;
+    for t in 0..n {
+        if graph.is_source_task(ppa_core::model::TaskIndex(t)) {
+            primary[t] = next_source_slot / 4;
+            next_source_slot += 1;
+        } else {
+            primary[t] = next_worker;
+            worker_nodes.push(next_worker);
+            next_worker += 1;
+        }
+    }
+    let n_workers = next_worker;
+    let n_standby = n.max(1);
+    let standby: Vec<usize> = (0..n).map(|t| n_workers + t % n_standby).collect();
+    (
+        Placement::explicit(primary, standby, n_workers, n_standby),
+        worker_nodes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_placement_isolates_sources() {
+        let s = synthetic::fig6_scenario(&Fig6Config::default());
+        let g = s.graph();
+        // 16 source tasks on 4 nodes.
+        for t in g.source_tasks() {
+            assert!(s.placement.primary[t.0] < 4);
+        }
+        // 15 synthetic tasks on their own nodes 4..19.
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..g.n_tasks() {
+            if !g.is_source_task(ppa_core::model::TaskIndex(t)) {
+                assert!(s.placement.primary[t] >= 4);
+                assert!(seen.insert(s.placement.primary[t]), "one synthetic task per node");
+            }
+        }
+        assert_eq!(s.worker_kill_set.len(), 15);
+    }
+}

@@ -1,0 +1,216 @@
+//! The Fig. 6 synthetic topology of the recovery-efficiency experiments
+//! (§VI-A): one 16-task source operator feeding four synthetic operators
+//! with parallelism 8/4/2/1, each task merging two upstream tasks. Every
+//! synthetic operator maintains a sliding window (step 1 s, interval 10 s or
+//! 30 s) over its raw input and has selectivity 0.5.
+
+use crate::{dedicated_placement, Scenario};
+use ppa_core::model::{OperatorSpec, Partitioning};
+use ppa_engine::udf::WindowBuffer;
+use ppa_engine::{BatchCtx, InputBatch, Query, QueryBuilder, SourceGen, Tuple, Udf};
+use ppa_sim::SimDuration;
+
+/// Parameters of the Fig. 6 scenario.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Per-source-task rate in tuples/s (the paper: 1000 or 2000).
+    pub rate: usize,
+    /// Window interval (the paper: 10 s or 30 s). Slide step = batch = 1 s.
+    pub window: SimDuration,
+    /// Selectivity of each synthetic operator (the paper: 0.5).
+    pub selectivity: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            rate: 1000,
+            window: SimDuration::from_secs(30),
+            selectivity: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A synthetic sliding-window operator: keeps the window's raw input as
+/// state and emits a `selectivity` fraction of each batch.
+#[derive(Clone)]
+pub struct SyntheticOp {
+    window_batches: u64,
+    selectivity: f64,
+    buf: WindowBuffer,
+}
+
+impl SyntheticOp {
+    pub fn new(window_batches: u64, selectivity: f64) -> Self {
+        SyntheticOp { window_batches, selectivity, buf: WindowBuffer::new() }
+    }
+}
+
+impl Udf for SyntheticOp {
+    fn on_batch(&mut self, ctx: &BatchCtx, inputs: &[InputBatch<'_>], out: &mut Vec<Tuple>) {
+        let mut all: Vec<Tuple> = Vec::new();
+        for i in inputs {
+            all.extend_from_slice(i.tuples);
+        }
+        // Deterministic selection of ~selectivity of the batch: every k-th
+        // tuple by position, so primaries and replicas agree exactly.
+        let keep_every = if self.selectivity > 0.0 {
+            (1.0 / self.selectivity).round().max(1.0) as usize
+        } else {
+            usize::MAX
+        };
+        out.extend(
+            all.iter().enumerate().filter(|(i, _)| i % keep_every == 0).map(|(_, t)| t.clone()),
+        );
+        self.buf.push(ctx.batch, all, self.window_batches);
+    }
+
+    fn snapshot(&self) -> Box<dyn Udf> {
+        Box::new(self.clone())
+    }
+
+    fn state_tuples(&self) -> usize {
+        self.buf.len_tuples()
+    }
+}
+
+/// A source emitting `rate` tuples per batch with uniformly random keys.
+#[derive(Debug, Clone)]
+struct UniformSource {
+    per_batch: usize,
+    seed: u64,
+}
+
+impl SourceGen for UniformSource {
+    fn batch(&mut self, batch: u64) -> Vec<Tuple> {
+        (0..self.per_batch)
+            .map(|i| {
+                let u = crate::zipf::uniform_hash(self.seed, batch, i as u64, 0);
+                Tuple::key_only((u * 1_000_000.0) as u64)
+            })
+            .collect()
+    }
+}
+
+/// Builds the Fig. 6 query.
+pub fn fig6_query(cfg: &Fig6Config) -> Query {
+    let window_batches = (cfg.window.as_micros() / 1_000_000).max(1);
+    let sel = cfg.selectivity;
+    let rate = cfg.rate;
+    let seed = cfg.seed;
+
+    let mut q = QueryBuilder::new();
+    let src = q.add_source(
+        OperatorSpec::source("source", 16, rate as f64),
+        move |task| Box::new(UniformSource { per_batch: rate, seed: seed ^ (task as u64) << 8 }),
+    );
+    let o1 = q.add_operator(OperatorSpec::map("O1", 8, sel), move |_| {
+        Box::new(SyntheticOp::new(window_batches, sel))
+    });
+    let o2 = q.add_operator(OperatorSpec::map("O2", 4, sel), move |_| {
+        Box::new(SyntheticOp::new(window_batches, sel))
+    });
+    let o3 = q.add_operator(OperatorSpec::map("O3", 2, sel), move |_| {
+        Box::new(SyntheticOp::new(window_batches, sel))
+    });
+    let o4 = q.add_operator(OperatorSpec::map("O4", 1, sel), move |_| {
+        Box::new(SyntheticOp::new(window_batches, sel))
+    });
+    q.connect(src, o1, Partitioning::Merge).unwrap();
+    q.connect(o1, o2, Partitioning::Merge).unwrap();
+    q.connect(o2, o3, Partitioning::Merge).unwrap();
+    q.connect(o3, o4, Partitioning::Merge).unwrap();
+    q.build().expect("fig6 topology is valid")
+}
+
+/// Builds the full Fig. 6 scenario: query + the paper's placement (sources
+/// on 4 nodes, 15 synthetic tasks on 15 nodes, 15 standbys).
+pub fn fig6_scenario(cfg: &Fig6Config) -> Scenario {
+    let query = fig6_query(cfg);
+    let graph = ppa_core::model::TaskGraph::new(query.topology().clone());
+    let (placement, worker_kill_set) = dedicated_placement(&graph);
+    Scenario { query, placement, worker_kill_set }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_engine::{EngineConfig, FailureSpec, FtMode, Simulation};
+    use ppa_sim::SimTime;
+
+    #[test]
+    fn fig6_topology_shape() {
+        let q = fig6_query(&Fig6Config::default());
+        let t = q.topology();
+        assert_eq!(t.n_operators(), 5);
+        assert_eq!(t.n_tasks(), 31);
+        let paras: Vec<usize> = t.operators().iter().map(|o| o.parallelism).collect();
+        assert_eq!(paras, vec![16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn synthetic_op_halves_its_input() {
+        let mut op = SyntheticOp::new(10, 0.5);
+        let tuples: Vec<Tuple> = (0..100).map(Tuple::key_only).collect();
+        let mut out = Vec::new();
+        let ctx = BatchCtx { batch: 0, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        op.on_batch(&ctx, &[InputBatch { stream: 0, tuples: &tuples }], &mut out);
+        assert_eq!(out.len(), 50);
+        assert_eq!(op.state_tuples(), 100);
+    }
+
+    #[test]
+    fn synthetic_state_tracks_window_and_rate() {
+        let mut op = SyntheticOp::new(3, 0.5);
+        let ctx = |b| BatchCtx { batch: b, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        for b in 0..10u64 {
+            let tuples: Vec<Tuple> = (0..200).map(Tuple::key_only).collect();
+            let mut out = Vec::new();
+            op.on_batch(&ctx(b), &[InputBatch { stream: 0, tuples: &tuples }], &mut out);
+        }
+        assert_eq!(op.state_tuples(), 600, "window(3) × rate(200)");
+    }
+
+    #[test]
+    fn fig6_runs_end_to_end() {
+        let cfg = Fig6Config { rate: 200, window: SimDuration::from_secs(10), ..Default::default() };
+        let s = fig6_scenario(&cfg);
+        let report = Simulation::run(
+            &s.query,
+            s.placement.clone(),
+            EngineConfig {
+                mode: FtMode::checkpoint(31, SimDuration::from_secs(5)),
+                ..EngineConfig::default()
+            },
+            vec![],
+            SimDuration::from_secs(15),
+        );
+        assert!(!report.sink.is_empty());
+        // Selectivity 0.5 through 4 operators: 16·200 / 16 = 200 per batch.
+        let s0 = &report.sink[0];
+        assert_eq!(s0.tuples.len(), 16 * 200 / 16);
+    }
+
+    #[test]
+    fn fig6_correlated_failure_recovers() {
+        let cfg = Fig6Config { rate: 200, window: SimDuration::from_secs(10), ..Default::default() };
+        let s = fig6_scenario(&cfg);
+        let report = Simulation::run(
+            &s.query,
+            s.placement.clone(),
+            EngineConfig {
+                mode: FtMode::checkpoint(31, SimDuration::from_secs(5)),
+                ..EngineConfig::default()
+            },
+            vec![FailureSpec { at: SimTime::from_secs(22), nodes: s.worker_kill_set.clone() }],
+            SimDuration::from_secs(120),
+        );
+        assert_eq!(report.recoveries.len(), 15, "all synthetic tasks failed");
+        for r in &report.recoveries {
+            assert!(r.recovered_at.is_some(), "task {:?} never recovered", r.task);
+        }
+    }
+}

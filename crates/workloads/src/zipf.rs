@@ -1,0 +1,130 @@
+//! A small deterministic Zipf sampler (rand's distribution crates are not in
+//! the dependency budget; the CDF-table approach is simple and exact).
+
+/// Zipf distribution over `{0, 1, …, n-1}` with exponent `s`: item `i` has
+/// probability proportional to `1/(i+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Maps a uniform sample `u ∈ [0,1)` to an item.
+    pub fn sample_u(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Probability of item `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// A tiny deterministic hash-to-uniform helper: maps `(seed, a, b, c)` to a
+/// uniform f64 in `[0, 1)`. All workload generators derive their randomness
+/// this way so a batch's content is a pure function of its coordinates
+/// (required by [`ppa_engine::SourceGen`]'s determinism contract).
+pub fn uniform_hash(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ c.wrapping_mul(0x1656_67B1_9E37_79F9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.5);
+        let sum: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_is_heavier_than_tail() {
+        let z = Zipf::new(1000, 0.5);
+        assert!(z.pmf(0) > z.pmf(999) * 10.0);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(50, 0.8);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for k in 0..n {
+            let u = uniform_hash(7, k as u64, 0, 0);
+            counts[z.sample_u(u)] += 1;
+        }
+        for i in [0usize, 1, 10, 49] {
+            let got = counts[i] as f64 / n as f64;
+            let want = z.pmf(i);
+            assert!(
+                (got - want).abs() < 0.01 + want * 0.1,
+                "item {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_u_boundaries() {
+        let z = Zipf::new(5, 1.0);
+        assert_eq!(z.sample_u(0.0), 0);
+        assert!(z.sample_u(0.999_999) < 5);
+    }
+
+    #[test]
+    fn uniform_hash_is_uniform_and_deterministic() {
+        assert_eq!(uniform_hash(1, 2, 3, 4), uniform_hash(1, 2, 3, 4));
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|i| uniform_hash(9, i, 1, 2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for v in (0..1000).map(|i| uniform_hash(9, i, 1, 2)) {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's Q1 scenario as an application: a live "hottest pages"
+//! dashboard over a web-access log that keeps serving (tentative) top-k
+//! results through a correlated datacenter failure.
+//!
+//! ```text
+//! cargo run --release --example topk_dashboard
+//! ```
+
+use ppa::core::{PlanContext, Planner, StructureAwarePlanner};
+use ppa::engine::{EngineConfig, FailureSpec, FtMode, Simulation};
+use ppa::sim::{SimDuration, SimTime};
+use ppa::workloads::worldcup::{q1_scenario, topk_set, Q1Config};
+use ppa::workloads::topk_accuracy;
+
+fn main() {
+    let cfg = Q1Config {
+        src_tasks: 8,
+        o1_tasks: 4,
+        o2_tasks: 2,
+        rate: 300,
+        n_objects: 240,
+        k: 20,
+        window_batches: 10,
+        ..Q1Config::default()
+    };
+    let scenario = q1_scenario(&cfg);
+    let n = scenario.graph().n_tasks();
+
+    // Plan: actively replicate half the tasks, chosen structure-aware.
+    let cx = PlanContext::new(scenario.query.topology()).unwrap();
+    let plan = StructureAwarePlanner::default().plan(&cx, n / 2).unwrap();
+    println!(
+        "replicating {}/{} tasks, predicted output fidelity {:.2}",
+        plan.resources(),
+        n,
+        plan.value
+    );
+
+    // Golden run (no failure) for comparison.
+    let golden = Simulation::run(
+        &scenario.query,
+        scenario.placement.clone(),
+        EngineConfig::default(),
+        vec![],
+        SimDuration::from_secs(60),
+    );
+
+    // Failure run: every primary node dies at t = 25 s; passive recovery is
+    // held back so the dashboard keeps running on replicas alone.
+    let config = EngineConfig {
+        mode: FtMode::ppa(plan.tasks.clone(), SimDuration::from_secs(10)),
+        passive_recovery: false,
+        ..EngineConfig::default()
+    };
+    let report = Simulation::run(
+        &scenario.query,
+        scenario.placement.clone(),
+        config,
+        vec![FailureSpec {
+            at: SimTime::from_secs(25),
+            nodes: scenario.placement.all_primary_nodes(),
+        }],
+        SimDuration::from_secs(60),
+    );
+
+    // Dashboard view: golden vs tentative top-5 in a late batch.
+    let show = |label: &str, rep: &ppa::engine::RunReport, batch: u64| {
+        if let Some(s) = rep.sink_batches(batch).next() {
+            let top: Vec<u64> = topk_set(&s.tuples).into_iter().take(5).collect();
+            println!(
+                "{label:9} batch {batch}: top-5 = {top:?}{}",
+                if s.tentative { "  [tentative]" } else { "" }
+            );
+        } else {
+            println!("{label:9} batch {batch}: (no output)");
+        }
+    };
+    for batch in [20u64, 45, 55] {
+        show("golden", &golden, batch);
+        show("failure", &report, batch);
+    }
+
+    let acc = topk_accuracy(&golden, &report, 45, 58);
+    println!("\nsteady tentative top-{} accuracy: {acc:.2} (predicted OF {:.2})", cfg.k, plan.value);
+}

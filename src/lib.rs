@@ -1,0 +1,21 @@
+//! # ppa — Passive and Partially Active fault tolerance for MPSPEs
+//!
+//! Facade crate re-exporting the PPA workspace: a from-scratch Rust
+//! reproduction of *"Tolerating Correlated Failures in Massively Parallel
+//! Stream Processing Engines"* (Su & Zhou, ICDE 2016).
+//!
+//! * [`core`] — topology model, Output Fidelity metric, MC-trees and the
+//!   DP / Greedy / Structure-Aware replication planners (§II–IV).
+//! * [`sim`] — the deterministic discrete-event simulation kernel.
+//! * [`engine`] — the Storm-like stream engine substrate with PPA fault
+//!   tolerance: checkpoints, active replicas, heartbeat failure detection,
+//!   recovery and tentative outputs (§V).
+//! * [`workloads`] — the evaluation workloads: the synthetic Fig. 6 query,
+//!   Q1 (top-k over access logs) and Q2 (traffic incident detection).
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable programs.
+
+pub use ppa_core as core;
+pub use ppa_engine as engine;
+pub use ppa_sim as sim;
+pub use ppa_workloads as workloads;

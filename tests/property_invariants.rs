@@ -1,0 +1,170 @@
+//! Property-based tests over random topologies: the OF/IC metrics and the
+//! planners must satisfy their structural invariants on every input the
+//! generator can produce.
+
+use ppa::core::{
+    GreedyPlanner, PlanContext, Planner, RandomTopologySpec, Skew, StructureAwarePlanner,
+    TaskSet, TopologyStyle,
+};
+use ppa::core::model::TaskIndex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec_strategy() -> impl Strategy<Value = (RandomTopologySpec, u64)> {
+    (
+        (4usize..=8),
+        (1usize..=6),
+        prop_oneof![Just(0.0), Just(0.5)],
+        prop_oneof![Just(Skew::Uniform), Just(Skew::Zipf { s: 0.3 })],
+        prop_oneof![
+            Just(TopologyStyle::Structured),
+            Just(TopologyStyle::Full),
+            Just(TopologyStyle::Mixed { full_probability: 0.3 })
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(ops, para, join, skew, style, seed)| {
+            (
+                RandomTopologySpec {
+                    n_operators: (ops, ops + 2),
+                    parallelism: (1, para + 2),
+                    join_fraction: join,
+                    skew,
+                    style,
+                    ..RandomTopologySpec::default()
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fidelity_is_bounded_and_boundary_exact((spec, seed) in spec_strategy()) {
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let n = cx.n_tasks();
+        prop_assert!((cx.of_plan(&TaskSet::full(n)) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(cx.of_plan(&TaskSet::empty(n)), 0.0);
+        // Any random subset stays within [0, 1].
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let subset = TaskSet::from_tasks(
+            n,
+            (0..n).filter(|_| rand::Rng::gen_bool(&mut rng, 0.5)).map(TaskIndex),
+        );
+        let of = cx.of_plan(&subset);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&of), "OF out of range: {}", of);
+        let ic = cx.ic_plan(&subset);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ic), "IC out of range: {}", ic);
+    }
+
+    #[test]
+    fn fidelity_is_monotone_in_failures((spec, seed) in spec_strategy()) {
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let n = cx.n_tasks();
+        let fid = cx.fidelity();
+        let mut failed = TaskSet::empty(n);
+        let mut prev = fid.output_fidelity(&failed);
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic shuffle from the seed.
+        for i in (1..order.len()).rev() {
+            let j = (seed as usize).wrapping_mul(i).wrapping_add(17) % (i + 1);
+            order.swap(i, j);
+        }
+        for t in order {
+            failed.insert(TaskIndex(t));
+            let next = fid.output_fidelity(&failed);
+            prop_assert!(next <= prev + 1e-9, "failing more tasks raised OF");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn ic_never_underestimates_of((spec, seed) in spec_strategy()) {
+        // Correlation only adds loss: for the same failed set, IC >= OF.
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let n = cx.n_tasks();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let failed = TaskSet::from_tasks(
+            n,
+            (0..n).filter(|_| rand::Rng::gen_bool(&mut rng, 0.3)).map(TaskIndex),
+        );
+        let fid = cx.fidelity();
+        prop_assert!(
+            fid.internal_completeness(&failed) >= fid.output_fidelity(&failed) - 1e-9
+        );
+    }
+
+    #[test]
+    fn planners_respect_budget_and_bounds((spec, seed) in spec_strategy()) {
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let n = cx.n_tasks();
+        for ratio in [0.2, 0.5] {
+            let budget = ((n as f64) * ratio) as usize;
+            let sa = StructureAwarePlanner::default().plan(&cx, budget).unwrap();
+            let gr = GreedyPlanner.plan(&cx, budget).unwrap();
+            prop_assert!(sa.resources() <= budget);
+            prop_assert!(gr.resources() <= budget);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sa.value));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&gr.value));
+            // Plan value must equal re-evaluating the plan's task set.
+            prop_assert!((cx.of_plan(&sa.tasks) - sa.value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sa_is_near_monotone_in_budget((spec, seed) in spec_strategy()) {
+        // SA is a heuristic (as is the paper's): a larger budget can steer
+        // its greedy path to a slightly different plan, so monotonicity is
+        // asserted with a small tolerance. The endpoint is exact: the full
+        // budget must always reach OF 1.
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let n = cx.n_tasks();
+        let mut prev = -1.0;
+        for ratio in [0.1, 0.3, 0.6, 1.0] {
+            let budget = ((n as f64) * ratio).ceil() as usize;
+            let plan = StructureAwarePlanner::default().plan(&cx, budget).unwrap();
+            prop_assert!(
+                plan.value >= prev - 0.05,
+                "budget {} dropped OF from {} to {}",
+                budget,
+                prev,
+                plan.value
+            );
+            prev = prev.max(plan.value);
+        }
+        // Full budget must reach OF 1.
+        let full = StructureAwarePlanner::default().plan(&cx, n).unwrap();
+        prop_assert!((full.value - 1.0).abs() < 1e-9, "full budget OF {}", full.value);
+    }
+
+    #[test]
+    fn mc_trees_are_minimal_and_alive((spec, seed) in spec_strategy()) {
+        use ppa::core::{enumerate_mc_trees, McTreeLimits};
+        let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
+        let cx = PlanContext::new(&topo).unwrap();
+        let limits = McTreeLimits { max_trees: 5_000 };
+        let Ok(trees) = enumerate_mc_trees(cx.graph(), limits) else {
+            return Ok(()); // explosion guard fired: acceptable
+        };
+        for tree in trees.iter().take(64) {
+            // A complete tree alone yields positive fidelity...
+            prop_assert!(cx.of_plan(tree) > 0.0, "tree {:?} contributes nothing", tree);
+            // ...and removing any single task kills this tree's contribution
+            // or at least never increases fidelity (minimality).
+            let with = cx.of_plan(tree);
+            for t in tree.iter() {
+                let mut smaller = tree.clone();
+                smaller.remove(t);
+                prop_assert!(cx.of_plan(&smaller) <= with + 1e-9);
+            }
+        }
+    }
+}
