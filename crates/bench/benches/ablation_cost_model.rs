@@ -1,11 +1,12 @@
-//! Ablation bench for the calibrated cost model (DESIGN.md): how sensitive
-//! is the reproduced recovery-latency ordering to the replay cost constant?
+//! Ablation bench for the calibrated cost model (README.md §Design notes):
+//! how sensitive is the reproduced recovery-latency ordering to the replay
+//! cost constant?
 //!
 //! For each replay-cost multiplier the correlated-failure run must keep the
 //! paper's ordering `Active < Checkpoint-5 < Checkpoint-30`; the bench
 //! asserts it while timing the runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_bench::stopwatch::Group;
 use ppa_engine::{EngineConfig, FailureSpec, FtMode, Simulation};
 use ppa_sim::{SimDuration, SimTime};
 use ppa_workloads::{fig6_scenario, Fig6Config};
@@ -30,44 +31,26 @@ fn latency(cfg: &Fig6Config, mode: FtMode, replay_mult: f64) -> f64 {
         .unwrap_or(f64::INFINITY)
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = Fig6Config {
         rate: 300,
         window: SimDuration::from_secs(10),
         ..Fig6Config::default()
     };
     let n_tasks = 31;
-    let mut group = c.benchmark_group("ablation_replay_cost");
-    group.sample_size(10);
+    let group = Group::new("ablation_replay_cost").sample_size(10);
     for mult in [0.5f64, 1.0, 2.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("replay-x{mult}")),
-            &mult,
-            |b, &mult| {
-                b.iter(|| {
-                    let active = latency(&cfg, FtMode::active(n_tasks), mult);
-                    let cp5 = latency(
-                        &cfg,
-                        FtMode::checkpoint(n_tasks, SimDuration::from_secs(5)),
-                        mult,
-                    );
-                    let cp30 = latency(
-                        &cfg,
-                        FtMode::checkpoint(n_tasks, SimDuration::from_secs(30)),
-                        mult,
-                    );
-                    assert!(
-                        active < cp5 && cp5 < cp30,
-                        "ordering broke at replay multiplier {mult}: \
-                         active {active:.2}s, cp5 {cp5:.2}s, cp30 {cp30:.2}s"
-                    );
-                    (active, cp5, cp30)
-                })
-            },
-        );
+        group.bench(&format!("replay-x{mult}"), || {
+            let active = latency(&cfg, FtMode::active(n_tasks), mult);
+            let cp5 = latency(&cfg, FtMode::checkpoint(n_tasks, SimDuration::from_secs(5)), mult);
+            let cp30 =
+                latency(&cfg, FtMode::checkpoint(n_tasks, SimDuration::from_secs(30)), mult);
+            assert!(
+                active < cp5 && cp5 < cp30,
+                "ordering broke at replay multiplier {mult}: \
+                 active {active:.2}s, cp5 {cp5:.2}s, cp30 {cp30:.2}s"
+            );
+            (active, cp5, cp30)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

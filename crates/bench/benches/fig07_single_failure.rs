@@ -1,14 +1,16 @@
-//! Criterion bench for the Fig. 7 experiment: one single-node-failure
-//! recovery run per strategy at reduced scale. The timed quantity is the
-//! simulation wall time; the reproduced metric itself comes from
+//! Bench for the Fig. 7 experiment: one single-node-failure recovery run
+//! per strategy at reduced scale. The timed quantity is the simulation
+//! wall time; the reproduced metric itself comes from
 //! `cargo run -p ppa-bench --bin reproduce`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let ctx = RunCtx::serial(true);
     let cfg = Fig6Config {
         rate: 300,
         window: SimDuration::from_secs(10),
@@ -16,27 +18,16 @@ fn bench(c: &mut Criterion) {
     };
     let scenario = ppa_workloads::fig6_scenario(&cfg);
     let node = scenario.placement.primary[16]; // first O1 task
-    let mut group = c.benchmark_group("fig07_single_failure");
-    group.sample_size(10);
+    let group = Group::new("fig07_single_failure").sample_size(10);
     for strategy in [
         Strategy::Active { sync_secs: 5 },
         Strategy::Checkpoint { interval_secs: 15 },
         Strategy::Storm,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, strategy| {
-                b.iter(|| {
-                    let report = run_fig6(&cfg, strategy, vec![node], 40, 120);
-                    assert!(report.mean_recovery_latency().is_some());
-                    report.events
-                })
-            },
-        );
+        group.bench(&strategy.label(), || {
+            let report = run_fig6(&ctx, &cfg, &strategy, vec![node], 40, 120);
+            assert!(report.mean_recovery_latency().is_some());
+            report.events
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

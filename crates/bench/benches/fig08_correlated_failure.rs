@@ -1,12 +1,14 @@
-//! Criterion bench for the Fig. 8 experiment: one correlated-failure
-//! recovery run per strategy at reduced scale.
+//! Bench for the Fig. 8 experiment: one correlated-failure recovery run
+//! per strategy at reduced scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let ctx = RunCtx::serial(true);
     let cfg = Fig6Config {
         rate: 300,
         window: SimDuration::from_secs(10),
@@ -14,27 +16,16 @@ fn bench(c: &mut Criterion) {
     };
     let scenario = ppa_workloads::fig6_scenario(&cfg);
     let kill = scenario.worker_kill_set.clone();
-    let mut group = c.benchmark_group("fig08_correlated_failure");
-    group.sample_size(10);
+    let group = Group::new("fig08_correlated_failure").sample_size(10);
     for strategy in [
         Strategy::Active { sync_secs: 5 },
         Strategy::Checkpoint { interval_secs: 15 },
         Strategy::Storm,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, strategy| {
-                b.iter(|| {
-                    let report = run_fig6(&cfg, strategy, kill.clone(), 40, 130);
-                    assert_eq!(report.recoveries.len(), 15);
-                    report.events
-                })
-            },
-        );
+        group.bench(&strategy.label(), || {
+            let report = run_fig6(&ctx, &cfg, &strategy, kill.clone(), 40, 130);
+            assert_eq!(report.recoveries.len(), 15);
+            report.events
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,40 +1,32 @@
-//! Criterion bench for the Fig. 9 experiment: a steady checkpointing run
-//! per checkpoint interval at reduced scale.
+//! Bench for the Fig. 9 experiment: a steady checkpointing run per
+//! checkpoint interval at reduced scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let ctx = RunCtx::serial(true);
     let cfg = Fig6Config {
         rate: 300,
         window: SimDuration::from_secs(30),
         ..Fig6Config::default()
     };
-    let mut group = c.benchmark_group("fig09_checkpoint_cpu");
-    group.sample_size(10);
+    let group = Group::new("fig09_checkpoint_cpu").sample_size(10);
     for interval in [1u64, 15] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("interval-{interval}s")),
-            &interval,
-            |b, &interval| {
-                b.iter(|| {
-                    let report = run_fig6(
-                        &cfg,
-                        &Strategy::Checkpoint { interval_secs: interval },
-                        vec![],
-                        0,
-                        60,
-                    );
-                    assert!(report.mean_checkpoint_ratio() > 0.0);
-                    report.events
-                })
-            },
-        );
+        group.bench(&format!("interval-{interval}s"), || {
+            let report = run_fig6(
+                &ctx,
+                &cfg,
+                &Strategy::Checkpoint { interval_secs: interval },
+                vec![],
+                0,
+                60,
+            );
+            assert!(report.mean_checkpoint_ratio() > 0.0);
+            report.events
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

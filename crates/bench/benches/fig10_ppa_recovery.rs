@@ -1,13 +1,15 @@
-//! Criterion bench for the Fig. 10 experiment: correlated-failure recovery
-//! under PPA plans with different active shares, at reduced scale.
+//! Bench for the Fig. 10 experiment: correlated-failure recovery under PPA
+//! plans with different active shares, at reduced scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let ctx = RunCtx::serial(true);
     let cfg = Fig6Config {
         rate: 300,
         window: SimDuration::from_secs(10),
@@ -19,29 +21,23 @@ fn bench(c: &mut Criterion) {
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
     let half = StructureAwarePlanner::default().plan(&cx, n / 2).unwrap().tasks;
 
-    let mut group = c.benchmark_group("fig10_ppa_recovery");
-    group.sample_size(10);
+    let group = Group::new("fig10_ppa_recovery").sample_size(10);
     for (label, plan) in [
         ("PPA-1.0", TaskSet::full(n)),
         ("PPA-0.5", half),
         ("PPA-0", TaskSet::empty(n)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
-            b.iter(|| {
-                let report = run_fig6(
-                    &cfg,
-                    &Strategy::Ppa { plan: plan.clone(), interval_secs: 15 },
-                    kill.clone(),
-                    40,
-                    130,
-                );
-                assert_eq!(report.recoveries.len(), 15);
-                report.events
-            })
+        group.bench(label, || {
+            let report = run_fig6(
+                &ctx,
+                &cfg,
+                &Strategy::Ppa { plan: plan.clone(), interval_secs: 15 },
+                kill.clone(),
+                40,
+                130,
+            );
+            assert_eq!(report.recoveries.len(), 15);
+            report.events
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

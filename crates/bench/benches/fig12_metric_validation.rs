@@ -1,32 +1,27 @@
-//! Criterion bench for the Fig. 12 experiment: one accuracy measurement of
-//! an SA plan under the worst-case correlated failure (golden run built
-//! once outside the timing loop).
+//! Bench for the Fig. 12 experiment: one accuracy measurement of an SA
+//! plan under the worst-case correlated failure (golden run built once
+//! outside the timing loop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppa_bench::experiments::fig12::{AccuracyHarness, QueryKind};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
 use ppa_core::planner::Objective;
 use ppa_core::{Planner, StructureAwarePlanner};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_metric_validation");
-    group.sample_size(10);
+fn main() {
+    let ctx = RunCtx::serial(true);
+    let group = Group::new("fig12_metric_validation").sample_size(10);
     for (kind, label) in [(QueryKind::Q1, "q1"), (QueryKind::Q2, "q2")] {
-        let harness = AccuracyHarness::new(kind, true);
+        let harness = AccuracyHarness::new(&ctx, kind, true);
         let cx = harness.context(Objective::OutputFidelity);
         let plan = StructureAwarePlanner::default()
             .plan(&cx, harness.budget(0.5))
             .unwrap()
             .tasks;
-        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
-            b.iter(|| {
-                let acc = harness.measure(plan);
-                assert!((0.0..=1.0).contains(&acc));
-                acc
-            })
+        group.bench(label, || {
+            let acc = harness.measure(&plan);
+            assert!((0.0..=1.0).contains(&acc));
+            acc
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

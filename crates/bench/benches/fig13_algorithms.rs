@@ -1,36 +1,29 @@
-//! Criterion bench for the Fig. 13 experiment: planning time of DP, SA and
-//! Greedy on the Q1 topology (the quantity the paper discusses as the DP's
+//! Bench for the Fig. 13 experiment: planning time of DP, SA and Greedy on
+//! the Q1 topology (the quantity the paper discusses as the DP's
 //! prohibitive complexity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_bench::stopwatch::Group;
 use ppa_core::{DpPlanner, GreedyPlanner, PlanContext, Planner, StructureAwarePlanner};
 use ppa_workloads::{q1_scenario, Q1Config};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scenario = q1_scenario(&Q1Config::default());
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
     let budget = cx.n_tasks() / 2;
     // Warm the MC-tree cache so DP timing excludes enumeration.
     let _ = cx.mc_trees().unwrap();
 
-    let mut group = c.benchmark_group("fig13_planning");
-    group.sample_size(10);
+    let group = Group::new("fig13_planning").sample_size(10);
     let planners: Vec<(&str, Box<dyn Planner>)> = vec![
         ("DP", Box::new(DpPlanner::default())),
         ("SA", Box::new(StructureAwarePlanner::default())),
         ("Greedy", Box::new(GreedyPlanner)),
     ];
     for (label, planner) in &planners {
-        group.bench_with_input(BenchmarkId::from_parameter(*label), planner, |b, planner| {
-            b.iter(|| {
-                let plan = planner.plan(&cx, budget).unwrap();
-                assert!(plan.value >= 0.0);
-                plan.resources()
-            })
+        group.bench(label, || {
+            let plan = planner.plan(&cx, budget).unwrap();
+            assert!(plan.value >= 0.0);
+            plan.resources()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

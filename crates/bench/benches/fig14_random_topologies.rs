@@ -1,7 +1,7 @@
-//! Criterion bench for the Fig. 14 experiment: SA and Greedy planning over
-//! a small random-topology corpus.
+//! Bench for the Fig. 14 experiment: SA and Greedy planning over a small
+//! random-topology corpus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppa_bench::stopwatch::Group;
 use ppa_core::{
     GreedyPlanner, PlanContext, Planner, RandomTopologySpec, Skew, StructureAwarePlanner,
     TopologyStyle,
@@ -9,7 +9,7 @@ use ppa_core::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = RandomTopologySpec {
         n_operators: (5, 8),
         parallelism: (1, 8),
@@ -23,26 +23,19 @@ fn bench(c: &mut Criterion) {
     let contexts: Vec<PlanContext> =
         corpus.iter().map(|t| PlanContext::new(t).unwrap()).collect();
 
-    let mut group = c.benchmark_group("fig14_random_topologies");
-    group.sample_size(10);
+    let group = Group::new("fig14_random_topologies").sample_size(10);
     let planners: Vec<(&str, Box<dyn Planner>)> = vec![
         ("SA", Box::new(StructureAwarePlanner::default())),
         ("Greedy", Box::new(GreedyPlanner)),
     ];
     for (label, planner) in &planners {
-        group.bench_with_input(BenchmarkId::from_parameter(*label), planner, |b, planner| {
-            b.iter(|| {
-                let mut total = 0.0;
-                for cx in &contexts {
-                    let budget = (cx.n_tasks() as f64 * 0.3).round() as usize;
-                    total += planner.plan(cx, budget).unwrap().value;
-                }
-                total
-            })
+        group.bench(label, || {
+            let mut total = 0.0;
+            for cx in &contexts {
+                let budget = (cx.n_tasks() as f64 * 0.3).round() as usize;
+                total += planner.plan(cx, budget).unwrap().value;
+            }
+            total
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,53 +1,90 @@
-//! Reproduces the paper's evaluation figures and prints each as a markdown
-//! table.
+//! Reproduces the paper's evaluation figures: markdown tables on stdout,
+//! progress and timings on stderr, and (optionally) a machine-readable
+//! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative | all]
+//! reproduce [--quick] [--jobs N] [--json PATH]
+//!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative | all]
 //! ```
+//!
+//! Experiments run concurrently on a bounded worker pool (`--jobs`,
+//! default = available parallelism); stdout is byte-identical for any job
+//! count — timings never touch it.
 
-use std::time::Instant;
+use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|a| a.to_lowercase())
-        .collect();
-    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] [EXPERIMENT.. | all]";
 
-    println!(
-        "# PPA reproduction run ({} mode)\n",
-        if quick { "quick" } else { "full" }
-    );
-    println!(
-        "Reproducing: Su & Zhou, \"Tolerating Correlated Failures in Massively \
-         Parallel Stream Processing Engines\", ICDE 2016.\n"
-    );
+fn main() -> ExitCode {
+    let mut opts = RunOptions { progress: true, ..RunOptions::default() };
+    let mut json_path: Option<PathBuf> = None;
 
-    let mut matched = false;
-    for (id, description, runner) in ppa_bench::registry() {
-        if !run_all && !wanted.iter().any(|w| w == id) {
-            continue;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => opts.quick = true,
+            "--jobs" | "-j" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("--jobs must be at least 1\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                opts.jobs = n;
+            }
+            "--json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                json_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}\n\nknown experiments:");
+                for e in registry() {
+                    println!("  {:10} {} [{}]", e.id, e.description, e.section);
+                }
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            id => opts.only.push(id.to_lowercase()),
         }
-        matched = true;
-        eprintln!(">> running {id}: {description}");
-        let start = Instant::now();
-        let figures = runner(quick);
-        let elapsed = start.elapsed();
-        println!("## {description}\n");
-        for fig in &figures {
-            print!("{}", fig.to_markdown());
-        }
-        println!("_(generated in {:.1?})_\n", elapsed);
     }
 
-    if !matched {
-        eprintln!("no experiment matched; known ids:");
-        for (id, description, _) in ppa_bench::registry() {
-            eprintln!("  {id:10} {description}");
+    if let Err(unknown) = ppa_bench::runner::select(&opts.only) {
+        eprintln!("no experiment matched {unknown:?}; known ids:");
+        for e in registry() {
+            eprintln!("  {:10} {}", e.id, e.description);
         }
-        std::process::exit(2);
+        return ExitCode::from(2);
     }
+
+    let summary = run_experiments(&opts);
+    print!("{}", render_markdown(&summary));
+
+    eprintln!(
+        "== {} experiment(s) in {:.1?} on {} worker(s)",
+        summary.results.len(),
+        summary.total_wall,
+        summary.jobs
+    );
+    for result in &summary.results {
+        eprintln!("   {:10} {:.1?}", result.id, result.wall);
+    }
+
+    if let Some(path) = json_path {
+        if let Err(err) = ppa_bench::report::write_json(&summary, &path) {
+            eprintln!("failed to write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
 }

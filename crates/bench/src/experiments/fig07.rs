@@ -4,7 +4,8 @@
 //! for Storm), so — like the paper — we average over failures injected at
 //! different operators.
 
-use super::{fig6_grid, grid_label, run_fig6, schedule, Strategy};
+use super::{fig6_grid, grid_label, run_scenario, schedule, Strategy};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 
 /// Synthetic tasks whose hosting node is killed, one run each: the first
@@ -18,7 +19,8 @@ fn locations(quick: bool) -> Vec<usize> {
     }
 }
 
-pub fn run(quick: bool) -> Vec<Figure> {
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let strategies = [
         Strategy::Active { sync_secs: 5 },
         Strategy::Active { sync_secs: 30 },
@@ -28,6 +30,36 @@ pub fn run(quick: bool) -> Vec<Figure> {
         Strategy::Storm,
     ];
     let (fail_at, duration) = schedule(quick);
+    let grid = fig6_grid(quick);
+    let locs = locations(quick);
+
+    // One leaf job per (strategy, grid point, failure location); each is an
+    // independent simulated run.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for si in 0..strategies.len() {
+        for ci in 0..grid.len() {
+            for &task in &locs {
+                jobs.push((si, ci, task));
+            }
+        }
+    }
+    let latencies: Vec<Option<f64>> = ctx.map(jobs, |(si, ci, task)| {
+        let cfg = &grid[ci];
+        let scenario = ppa_workloads::fig6_scenario(cfg);
+        let node = scenario.placement.primary[task];
+        let report = run_scenario(
+            ctx,
+            &grid_label(cfg),
+            &scenario,
+            &strategies[si],
+            cfg.window,
+            vec![node],
+            fail_at,
+            duration,
+            cfg.seed,
+        );
+        report.mean_recovery_latency().map(|l| l.as_secs_f64())
+    });
 
     let mut fig = Figure::new(
         "fig07",
@@ -35,24 +67,18 @@ pub fn run(quick: bool) -> Vec<Figure> {
         "configuration",
         "recovery latency (s)",
     );
-    for strategy in &strategies {
+    for (si, strategy) in strategies.iter().enumerate() {
         let mut series = Series::new(strategy.label());
-        for cfg in fig6_grid(quick) {
-            let scenario = ppa_workloads::fig6_scenario(&cfg);
-            let mut latencies = Vec::new();
-            for &task in &locations(quick) {
-                let node = scenario.placement.primary[task];
-                let report = run_fig6(&cfg, strategy, vec![node], fail_at, duration);
-                if let Some(l) = report.mean_recovery_latency() {
-                    latencies.push(l.as_secs_f64());
-                }
-            }
-            let mean = if latencies.is_empty() {
+        for (ci, cfg) in grid.iter().enumerate() {
+            let base = (si * grid.len() + ci) * locs.len();
+            let vals: Vec<f64> =
+                (0..locs.len()).filter_map(|k| latencies[base + k]).collect();
+            let mean = if vals.is_empty() {
                 f64::NAN
             } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
+                vals.iter().sum::<f64>() / vals.len() as f64
             };
-            series.push(grid_label(&cfg), mean);
+            series.push(grid_label(cfg), mean);
         }
         fig.series.push(series);
     }

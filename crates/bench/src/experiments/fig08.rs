@@ -3,10 +3,12 @@
 //! survive (§VI-A). Reported latency: detection until the *last* failed
 //! task restored its pre-failure progress (synchronization-gated).
 
-use super::{completion_latency, fig6_grid, grid_label, run_fig6, schedule, Strategy};
+use super::{completion_latency, fig6_grid, grid_label, run_scenario, schedule, Strategy};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 
-pub fn run(quick: bool) -> Vec<Figure> {
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let strategies = [
         Strategy::Active { sync_secs: 5 },
         Strategy::Active { sync_secs: 30 },
@@ -16,6 +18,32 @@ pub fn run(quick: bool) -> Vec<Figure> {
         Strategy::Storm,
     ];
     let (fail_at, duration) = schedule(quick);
+    let grid = fig6_grid(quick);
+
+    // One leaf job per (strategy, grid point).
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    for si in 0..strategies.len() {
+        for ci in 0..grid.len() {
+            jobs.push((si, ci));
+        }
+    }
+    let latencies: Vec<f64> = ctx.map(jobs, |(si, ci)| {
+        let cfg = &grid[ci];
+        let scenario = ppa_workloads::fig6_scenario(cfg);
+        let report = run_scenario(
+            ctx,
+            &grid_label(cfg),
+            &scenario,
+            &strategies[si],
+            cfg.window,
+            scenario.worker_kill_set.clone(),
+            fail_at,
+            duration,
+            cfg.seed,
+        );
+        let graph = scenario.graph();
+        completion_latency(&report, |t| !graph.is_source_task(t))
+    });
 
     let mut fig = Figure::new(
         "fig08",
@@ -23,22 +51,10 @@ pub fn run(quick: bool) -> Vec<Figure> {
         "configuration",
         "recovery latency (s)",
     );
-    for strategy in &strategies {
+    for (si, strategy) in strategies.iter().enumerate() {
         let mut series = Series::new(strategy.label());
-        for cfg in fig6_grid(quick) {
-            let scenario = ppa_workloads::fig6_scenario(&cfg);
-            let report = run_fig6(
-                &cfg,
-                strategy,
-                scenario.worker_kill_set.clone(),
-                fail_at,
-                duration,
-            );
-            let graph = scenario.graph();
-            series.push(
-                grid_label(&cfg),
-                completion_latency(&report, |t| !graph.is_source_task(t)),
-            );
+        for (ci, cfg) in grid.iter().enumerate() {
+            series.push(grid_label(cfg), latencies[si * grid.len() + ci]);
         }
         fig.series.push(series);
     }

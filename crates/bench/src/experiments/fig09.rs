@@ -3,14 +3,53 @@
 //! interval (1/5/15/30 s) and the input rate, window fixed at 30 s.
 
 use super::{run_fig6, Strategy};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-pub fn run(quick: bool) -> Vec<Figure> {
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let intervals: Vec<u64> = vec![1, 5, 15, 30];
     let rates: Vec<usize> = if quick { vec![300, 600] } else { vec![1000, 2000] };
     let duration = if quick { 60 } else { 120 };
+
+    // One leaf job per (rate, interval): a failure-free run.
+    let mut jobs: Vec<(usize, u64)> = Vec::new();
+    for &rate in &rates {
+        for &interval in &intervals {
+            jobs.push((rate, interval));
+        }
+    }
+    let ratios: Vec<f64> = ctx.map(jobs, |(rate, interval)| {
+        let cfg = Fig6Config {
+            rate,
+            window: SimDuration::from_secs(30),
+            ..Fig6Config::default()
+        };
+        let report = run_fig6(
+            ctx,
+            &cfg,
+            &Strategy::Checkpoint { interval_secs: interval },
+            vec![],
+            0,
+            duration,
+        );
+        // The paper's metric is per *processing* task; source tasks have
+        // no window state and would dilute the mean.
+        let scenario = ppa_workloads::fig6_scenario(&cfg);
+        let graph = scenario.graph();
+        let ratios: Vec<f64> = (0..graph.n_tasks())
+            .filter(|&t| !graph.is_source_task(ppa_core::model::TaskIndex(t)))
+            .map(|t| report.cpu[t].checkpoint_ratio())
+            .filter(|r| *r > 0.0)
+            .collect();
+        if ratios.is_empty() {
+            f64::NAN
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    });
 
     let mut fig = Figure::new(
         "fig09",
@@ -18,36 +57,10 @@ pub fn run(quick: bool) -> Vec<Figure> {
         "checkpoint interval (s)",
         "checkpoint CPU / processing CPU",
     );
-    for &rate in &rates {
+    for (ri, &rate) in rates.iter().enumerate() {
         let mut series = Series::new(format!("{rate}_tuples/s"));
-        for &interval in &intervals {
-            let cfg = Fig6Config {
-                rate,
-                window: SimDuration::from_secs(30),
-                ..Fig6Config::default()
-            };
-            let report = run_fig6(
-                &cfg,
-                &Strategy::Checkpoint { interval_secs: interval },
-                vec![],
-                0,
-                duration,
-            );
-            // The paper's metric is per *processing* task; source tasks have
-            // no window state and would dilute the mean.
-            let scenario = ppa_workloads::fig6_scenario(&cfg);
-            let graph = scenario.graph();
-            let ratios: Vec<f64> = (0..graph.n_tasks())
-                .filter(|&t| !graph.is_source_task(ppa_core::model::TaskIndex(t)))
-                .map(|t| report.cpu[t].checkpoint_ratio())
-                .filter(|r| *r > 0.0)
-                .collect();
-            let mean = if ratios.is_empty() {
-                f64::NAN
-            } else {
-                ratios.iter().sum::<f64>() / ratios.len() as f64
-            };
-            series.push(format!("{interval}"), mean);
+        for (ii, &interval) in intervals.iter().enumerate() {
+            series.push(format!("{interval}"), ratios[ri * intervals.len() + ii]);
         }
         fig.series.push(series);
     }

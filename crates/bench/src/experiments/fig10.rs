@@ -7,34 +7,84 @@
 //! synchronization-gated completion instead).
 
 use super::{run_fig6, schedule, Strategy};
+use crate::runner::RunCtx;
 use crate::{latency_secs, Figure, Series};
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-pub fn run(quick: bool) -> Vec<Figure> {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Share {
+    Full,
+    Half,
+    Zero,
+}
+
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let intervals: Vec<u64> = vec![5, 15, 30];
     let rates: Vec<usize> = if quick { vec![300] } else { vec![1000, 2000] };
     let (fail_at, duration) = schedule(quick);
 
-    let mut figures = Vec::new();
-    for &rate in &rates {
-        let cfg = Fig6Config {
+    let cfgs: Vec<Fig6Config> = rates
+        .iter()
+        .map(|&rate| Fig6Config {
             rate,
             window: SimDuration::from_secs(30),
             ..Fig6Config::default()
-        };
-        let scenario = ppa_workloads::fig6_scenario(&cfg);
+        })
+        .collect();
+
+    // Leaf phase 1 — PPA-0.5 plans: half the tasks, chosen by the
+    // structure-aware planner (MC-tree enumeration is real work).
+    let half_plans: Vec<TaskSet> = ctx.map((0..cfgs.len()).collect(), |ri| {
+        let scenario = ppa_workloads::fig6_scenario(&cfgs[ri]);
+        let n = scenario.graph().n_tasks();
+        let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
+        StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks
+    });
+
+    // Leaf phase 2 — one run per (rate, interval, share).
+    let shares = [Share::Full, Share::Half, Share::Zero];
+    let mut jobs: Vec<(usize, u64, Share)> = Vec::new();
+    for ri in 0..cfgs.len() {
+        for &interval in &intervals {
+            for &share in &shares {
+                jobs.push((ri, interval, share));
+            }
+        }
+    }
+    // Each job yields (mean latency, mean latency of the active subset —
+    // `Some` only for the Half share).
+    let outcomes: Vec<(f64, Option<f64>)> = ctx.map(jobs, |(ri, interval, share)| {
+        let cfg = &cfgs[ri];
+        let scenario = ppa_workloads::fig6_scenario(cfg);
         let graph = scenario.graph();
         let n = graph.n_tasks();
+        let plan = match share {
+            Share::Full => TaskSet::full(n),
+            Share::Half => half_plans[ri].clone(),
+            Share::Zero => TaskSet::empty(n),
+        };
+        let report = run_fig6(
+            ctx,
+            cfg,
+            &Strategy::Ppa { plan: plan.clone(), interval_secs: interval },
+            scenario.worker_kill_set.clone(),
+            fail_at,
+            duration,
+        );
+        let mean = latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t)));
+        let active = (share == Share::Half).then(|| {
+            latency_secs(
+                report.mean_latency_of(|t| !graph.is_source_task(t) && plan.contains(t)),
+            )
+        });
+        (mean, active)
+    });
 
-        // PPA-0.5: half the tasks, chosen by the structure-aware planner.
-        let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
-        let half_plan = StructureAwarePlanner::default()
-            .plan(&cx, n / 2)
-            .expect("SA plan")
-            .tasks;
-
+    let mut figures = Vec::new();
+    for (ri, &rate) in rates.iter().enumerate() {
         let mut fig = Figure::new(
             "fig10",
             format!("Correlated-failure recovery with PPA (rate {rate} tp/s, window 30s)"),
@@ -45,53 +95,16 @@ pub fn run(quick: bool) -> Vec<Figure> {
         let mut s_half_active = Series::new("PPA-0.5-active");
         let mut s_half = Series::new("PPA-0.5");
         let mut s_zero = Series::new("PPA-0");
-
-        for &interval in &intervals {
+        for (ii, &interval) in intervals.iter().enumerate() {
             let x = format!("{interval}");
-            // PPA-1.0.
-            let report = run_fig6(
-                &cfg,
-                &Strategy::Ppa { plan: TaskSet::full(n), interval_secs: interval },
-                scenario.worker_kill_set.clone(),
-                fail_at,
-                duration,
-            );
-            s_full.push(
-                x.clone(),
-                latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t))),
-            );
-
-            // PPA-0.5 (one run, two series).
-            let report = run_fig6(
-                &cfg,
-                &Strategy::Ppa { plan: half_plan.clone(), interval_secs: interval },
-                scenario.worker_kill_set.clone(),
-                fail_at,
-                duration,
-            );
-            s_half.push(
-                x.clone(),
-                latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t))),
-            );
-            s_half_active.push(
-                x.clone(),
-                latency_secs(report.mean_latency_of(|t| {
-                    !graph.is_source_task(t) && half_plan.contains(t)
-                })),
-            );
-
-            // PPA-0.
-            let report = run_fig6(
-                &cfg,
-                &Strategy::Ppa { plan: TaskSet::empty(n), interval_secs: interval },
-                scenario.worker_kill_set.clone(),
-                fail_at,
-                duration,
-            );
-            s_zero.push(
-                x.clone(),
-                latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t))),
-            );
+            let base = (ri * intervals.len() + ii) * shares.len();
+            let (full, _) = outcomes[base];
+            let (half, half_active) = outcomes[base + 1];
+            let (zero, _) = outcomes[base + 2];
+            s_full.push(x.clone(), full);
+            s_half_active.push(x.clone(), half_active.expect("Half yields the active subset"));
+            s_half.push(x.clone(), half);
+            s_zero.push(x, zero);
         }
         fig.series = vec![s_full, s_half_active, s_half, s_zero];
         fig.note(

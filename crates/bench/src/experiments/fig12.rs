@@ -9,6 +9,7 @@
 //! failure detection and the end of the measurement window.
 
 use super::{run_scenario, Strategy};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 use ppa_core::planner::Objective;
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
@@ -39,7 +40,9 @@ pub struct AccuracyHarness {
 }
 
 impl AccuracyHarness {
-    pub fn new(kind: QueryKind, quick: bool) -> Self {
+    /// Builds the harness, including its golden (no-failure) run. Heavy —
+    /// submit as a leaf job.
+    pub fn new(ctx: &RunCtx, kind: QueryKind, quick: bool) -> Self {
         let scenario = match (kind, quick) {
             (QueryKind::Q1, false) => q1_scenario(&Q1Config::default()),
             (QueryKind::Q1, true) => q1_scenario(&Q1Config {
@@ -75,6 +78,8 @@ impl AccuracyHarness {
         let duration = to_batch + 5;
         let seed = 42;
         let golden = run_scenario(
+            ctx,
+            &format!("{kind:?}-golden"),
             &scenario,
             // A golden run has no failures; FtMode::None via an empty plan
             // would still checkpoint, so use a plain no-failure run.
@@ -101,13 +106,13 @@ impl AccuracyHarness {
     }
 
     /// Measured tentative-output accuracy of `plan` under the worst-case
-    /// correlated failure (every primary worker node dies).
+    /// correlated failure (every primary node dies).
     ///
     /// Passive recovery is held back for the measurement so the window
     /// samples the plan's *steady-state* tentative quality — exactly the
     /// quantity Definition 2's OF models. (In the paper the same steadiness
     /// comes for free: EC2-scale recoveries lasted tens of seconds, longer
-    /// than any query window. See EXPERIMENTS.md.)
+    /// than any query window. See README.md §Design notes.)
     pub fn measure(&self, plan: &TaskSet) -> f64 {
         use ppa_engine::{EngineConfig, FailureSpec, FtMode, Simulation};
         use ppa_sim::SimTime;
@@ -148,29 +153,54 @@ pub fn ratios(quick: bool) -> Vec<f64> {
     }
 }
 
-pub fn run(quick: bool) -> Vec<Figure> {
-    let mut figures = Vec::new();
-    for (kind, name) in [(QueryKind::Q1, "Q1 top-k"), (QueryKind::Q2, "Q2 incidents")] {
-        let harness = AccuracyHarness::new(kind, quick);
-        let cx_of = harness.context(Objective::OutputFidelity);
-        let cx_ic = harness.context(Objective::InternalCompleteness);
+const KINDS: [(QueryKind, &str); 2] =
+    [(QueryKind::Q1, "Q1 top-k"), (QueryKind::Q2, "Q2 incidents")];
 
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
+
+    // Leaf phase 1 — harnesses (each includes a golden run).
+    let harnesses: Vec<AccuracyHarness> =
+        ctx.map(KINDS.to_vec(), |(kind, _)| AccuracyHarness::new(ctx, kind, quick));
+
+    // Leaf phase 2 — one job per (query, ratio, objective): plan, metric
+    // value, and the measured accuracy under the worst-case failure.
+    let objectives = [Objective::OutputFidelity, Objective::InternalCompleteness];
+    let rs = ratios(quick);
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for ki in 0..KINDS.len() {
+        for oi in 0..objectives.len() {
+            for ri in 0..rs.len() {
+                jobs.push((ki, oi, ri));
+            }
+        }
+    }
+    let outcomes: Vec<(f64, f64)> = ctx.map(jobs, |(ki, oi, ri)| {
+        let harness = &harnesses[ki];
+        let cx = harness.context(objectives[oi]);
+        let budget = harness.budget(rs[ri]);
+        let plan = StructureAwarePlanner::default().plan(&cx, budget).expect("SA plan").tasks;
+        let metric = match objectives[oi] {
+            Objective::OutputFidelity => cx.of_plan(&plan),
+            Objective::InternalCompleteness => cx.ic_plan(&plan),
+        };
+        (metric, harness.measure(&plan))
+    });
+
+    let mut figures = Vec::new();
+    for (ki, (kind, name)) in KINDS.iter().enumerate() {
         let mut s_of = Series::new("OF");
         let mut s_of_acc = Series::new("OF-SA-Accuracy");
         let mut s_ic = Series::new("IC");
         let mut s_ic_acc = Series::new("IC-SA-Accuracy");
-
-        for ratio in ratios(quick) {
+        for (ri, ratio) in rs.iter().enumerate() {
             let x = format!("{ratio:.1}");
-            let budget = harness.budget(ratio);
-            let plan_of =
-                StructureAwarePlanner::default().plan(&cx_of, budget).expect("SA plan").tasks;
-            let plan_ic =
-                StructureAwarePlanner::default().plan(&cx_ic, budget).expect("SA plan").tasks;
-            s_of.push(x.clone(), cx_of.of_plan(&plan_of));
-            s_of_acc.push(x.clone(), harness.measure(&plan_of));
-            s_ic.push(x.clone(), cx_ic.ic_plan(&plan_ic));
-            s_ic_acc.push(x.clone(), harness.measure(&plan_ic));
+            let (of, of_acc) = outcomes[(ki * objectives.len()) * rs.len() + ri];
+            let (ic, ic_acc) = outcomes[(ki * objectives.len() + 1) * rs.len() + ri];
+            s_of.push(x.clone(), of);
+            s_of_acc.push(x.clone(), of_acc);
+            s_ic.push(x.clone(), ic);
+            s_ic_acc.push(x, ic_acc);
         }
 
         let mut fig = Figure::new(

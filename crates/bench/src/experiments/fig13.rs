@@ -3,42 +3,63 @@
 //! both predicted OF and measured tentative-output accuracy.
 
 use super::fig12::{ratios, AccuracyHarness, QueryKind};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 use ppa_core::planner::Objective;
 use ppa_core::{DpPlanner, GreedyPlanner, Planner, StructureAwarePlanner};
 
-pub fn run(quick: bool) -> Vec<Figure> {
-    let mut figures = Vec::new();
-    for (kind, name) in [(QueryKind::Q1, "Q1 top-k"), (QueryKind::Q2, "Q2 incidents")] {
-        let harness = AccuracyHarness::new(kind, quick);
+const PLANNERS: [&str; 3] = ["DP", "SA", "Greedy"];
+
+fn make_planner(label: &str) -> Box<dyn Planner> {
+    match label {
+        "DP" => Box::new(DpPlanner::default()),
+        "SA" => Box::new(StructureAwarePlanner::default()),
+        _ => Box::new(GreedyPlanner),
+    }
+}
+
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
+    let kinds = [(QueryKind::Q1, "Q1 top-k"), (QueryKind::Q2, "Q2 incidents")];
+
+    // Leaf phase 1 — harnesses (each includes a golden run).
+    let harnesses: Vec<AccuracyHarness> =
+        ctx.map(kinds.to_vec(), |(kind, _)| AccuracyHarness::new(ctx, kind, quick));
+
+    // Leaf phase 2 — one job per (query, planner, ratio): plan + measure.
+    let rs = ratios(quick);
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for ki in 0..kinds.len() {
+        for pi in 0..PLANNERS.len() {
+            for ri in 0..rs.len() {
+                jobs.push((ki, pi, ri));
+            }
+        }
+    }
+    let outcomes: Vec<(f64, f64)> = ctx.map(jobs, |(ki, pi, ri)| {
+        let harness = &harnesses[ki];
         let cx = harness.context(Objective::OutputFidelity);
+        let budget = harness.budget(rs[ri]);
+        match make_planner(PLANNERS[pi]).plan(&cx, budget) {
+            Ok(plan) => (cx.of_plan(&plan.tasks), harness.measure(&plan.tasks)),
+            // DP can explode on large topologies (the paper hits the same
+            // wall in §VI-C); report an absent point.
+            Err(_) => (f64::NAN, f64::NAN),
+        }
+    });
 
-        let planners: Vec<(&str, Box<dyn Planner>)> = vec![
-            ("DP", Box::new(DpPlanner::default())),
-            ("SA", Box::new(StructureAwarePlanner::default())),
-            ("Greedy", Box::new(GreedyPlanner)),
-        ];
-
+    let mut figures = Vec::new();
+    for (ki, (_, name)) in kinds.iter().enumerate() {
         let mut of_series: Vec<Series> = Vec::new();
         let mut acc_series: Vec<Series> = Vec::new();
-        for (label, planner) in &planners {
+        for (pi, label) in PLANNERS.iter().enumerate() {
             let mut s_of = Series::new(format!("{label}-OF"));
             let mut s_acc = Series::new(format!("{label}-Accuracy"));
-            for ratio in ratios(quick) {
+            for (ri, ratio) in rs.iter().enumerate() {
                 let x = format!("{ratio:.1}");
-                let budget = harness.budget(ratio);
-                match planner.plan(&cx, budget) {
-                    Ok(plan) => {
-                        s_of.push(x.clone(), cx.of_plan(&plan.tasks));
-                        s_acc.push(x.clone(), harness.measure(&plan.tasks));
-                    }
-                    Err(_) => {
-                        // DP can explode on large topologies (the paper hits
-                        // the same wall in §VI-C); report an absent point.
-                        s_of.push(x.clone(), f64::NAN);
-                        s_acc.push(x.clone(), f64::NAN);
-                    }
-                }
+                let (of, acc) = outcomes[(ki * PLANNERS.len() + pi) * rs.len() + ri];
+                s_of.push(x.clone(), of);
+                s_acc.push(x, acc);
             }
             of_series.push(s_of);
             acc_series.push(s_acc);

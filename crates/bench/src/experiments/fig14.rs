@@ -6,6 +6,7 @@
 //! 100 topologies per specification (12 in quick mode); the DP is omitted —
 //! as in the paper — because MC-tree enumeration explodes on these.
 
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
 use ppa_core::{
     GreedyPlanner, PlanContext, Planner, RandomTopologySpec, Skew, StructureAwarePlanner,
@@ -23,53 +24,32 @@ fn ratios(quick: bool) -> Vec<f64> {
 }
 
 /// Mean OF of SA and Greedy plans over `n` random topologies for each
-/// ratio. Returns (sa_means, greedy_means), parallelized over topologies.
+/// ratio. Returns (sa_means, greedy_means); each topology is one leaf job
+/// on the shared pool.
 fn corpus_means(
+    ctx: &RunCtx,
     spec: &RandomTopologySpec,
     n: usize,
     seed: u64,
     ratios: &[f64],
 ) -> (Vec<f64>, Vec<f64>) {
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
-    let mut per_topo: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(n);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads {
-            let spec = spec.clone();
-            let ratios = ratios.to_vec();
-            handles.push(scope.spawn(move |_| {
-                let mut out = Vec::new();
-                for i in (w..n).step_by(threads) {
-                    // One RNG per topology keeps results independent of the
-                    // thread count.
-                    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
-                    let topo = spec.generate(&mut rng);
-                    let cx = PlanContext::new(&topo).expect("random topology is valid");
-                    let n_tasks = cx.n_tasks();
-                    let mut sa_vals = Vec::with_capacity(ratios.len());
-                    let mut gr_vals = Vec::with_capacity(ratios.len());
-                    for &r in &ratios {
-                        let budget = ((n_tasks as f64) * r).round() as usize;
-                        let sa = StructureAwarePlanner::default()
-                            .plan(&cx, budget)
-                            .expect("SA never errors");
-                        let gr = GreedyPlanner.plan(&cx, budget).expect("greedy never errors");
-                        sa_vals.push(cx.of_plan(&sa.tasks));
-                        gr_vals.push(cx.of_plan(&gr.tasks));
-                    }
-                    out.push((i, sa_vals, gr_vals));
-                }
-                out
-            }));
+    let per_topo: Vec<(Vec<f64>, Vec<f64>)> = ctx.map((0..n).collect(), |i| {
+        // One RNG per topology keeps results independent of scheduling.
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
+        let topo = spec.generate(&mut rng);
+        let cx = PlanContext::new(&topo).expect("random topology is valid");
+        let n_tasks = cx.n_tasks();
+        let mut sa_vals = Vec::with_capacity(ratios.len());
+        let mut gr_vals = Vec::with_capacity(ratios.len());
+        for &r in ratios {
+            let budget = ((n_tasks as f64) * r).round() as usize;
+            let sa = StructureAwarePlanner::default().plan(&cx, budget).expect("SA never errors");
+            let gr = GreedyPlanner.plan(&cx, budget).expect("greedy never errors");
+            sa_vals.push(cx.of_plan(&sa.tasks));
+            gr_vals.push(cx.of_plan(&gr.tasks));
         }
-        let mut all: Vec<(usize, Vec<f64>, Vec<f64>)> = Vec::new();
-        for h in handles {
-            all.extend(h.join().expect("worker panicked"));
-        }
-        all.sort_by_key(|(i, _, _)| *i);
-        per_topo = all.into_iter().map(|(_, s, g)| (s, g)).collect();
-    })
-    .expect("scope");
+        (sa_vals, gr_vals)
+    });
 
     let n = per_topo.len().max(1);
     let mut sa_means = vec![0.0; ratios.len()];
@@ -98,7 +78,8 @@ fn base_spec() -> RandomTopologySpec {
     }
 }
 
-pub fn run(quick: bool) -> Vec<Figure> {
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let n = if quick { 12 } else { 100 };
     let ratios = ratios(quick);
     let xs: Vec<String> = ratios.iter().map(|r| format!("{r:.2}")).collect();
@@ -111,7 +92,7 @@ pub fn run(quick: bool) -> Vec<Figure> {
      -> Figure {
         let mut fig = Figure::new(id, title, "replication ratio", "output fidelity");
         for (label, spec) in variants {
-            let (sa, gr) = corpus_means(&spec, n, seed, &ratios);
+            let (sa, gr) = corpus_means(ctx, &spec, n, seed, &ratios);
             let mut s_sa = Series::new(format!("SA-{label}"));
             let mut s_gr = Series::new(format!("Greedy-{label}"));
             for (k, x) in xs.iter().enumerate() {

@@ -1,4 +1,9 @@
 //! One module per reproduced figure, plus shared scenario-driving helpers.
+//!
+//! Experiments receive a [`RunCtx`] and submit their independent scenario
+//! points — one simulated run, one topology's plans — as leaf jobs via
+//! [`RunCtx::map`]. Each point derives its randomness from its own seed,
+//! so results are identical for any worker count.
 
 pub mod fig07;
 pub mod fig08;
@@ -9,6 +14,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod tentative;
 
+use crate::runner::{RunCtx, RunLog};
 use ppa_core::TaskSet;
 use ppa_engine::{EngineConfig, FailureSpec, FtMode, RunReport, Simulation};
 use ppa_sim::{SimDuration, SimTime};
@@ -28,12 +34,18 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// Series/run label. Every parameter that distinguishes two variants of
+    /// the same strategy appears in the label — PPA includes the active-task
+    /// count and checkpoint interval so multi-interval series stay
+    /// distinguishable in tables.
     pub fn label(&self) -> String {
         match self {
             Strategy::Active { sync_secs } => format!("Active-{sync_secs}s"),
             Strategy::Checkpoint { interval_secs } => format!("Checkpoint-{interval_secs}s"),
             Strategy::Storm => "Storm".to_string(),
-            Strategy::Ppa { .. } => "PPA".to_string(),
+            Strategy::Ppa { plan, interval_secs } => {
+                format!("PPA-{}t-{}s", plan.len(), interval_secs)
+            }
         }
     }
 
@@ -52,16 +64,17 @@ impl Strategy {
                 cfg.mode = FtMode::SourceReplay { buffer: window + SimDuration::from_secs(5) };
             }
             Strategy::Ppa { plan, interval_secs } => {
-                cfg.mode =
-                    FtMode::ppa(plan.clone(), SimDuration::from_secs(*interval_secs));
+                cfg.mode = FtMode::ppa(plan.clone(), SimDuration::from_secs(*interval_secs));
             }
         }
         cfg
     }
 }
 
-/// Runs the Fig. 6 scenario under a strategy with the given kill set.
+/// Runs the Fig. 6 scenario under a strategy with the given kill set,
+/// logging the run for the JSON reporter.
 pub fn run_fig6(
+    ctx: &RunCtx,
     cfg: &Fig6Config,
     strategy: &Strategy,
     kill_nodes: Vec<usize>,
@@ -69,12 +82,25 @@ pub fn run_fig6(
     duration_secs: u64,
 ) -> RunReport {
     let scenario = ppa_workloads::fig6_scenario(cfg);
-    run_scenario(&scenario, strategy, cfg.window, kill_nodes, fail_at_secs, duration_secs, cfg.seed)
+    run_scenario(
+        ctx,
+        &grid_label(cfg),
+        &scenario,
+        strategy,
+        cfg.window,
+        kill_nodes,
+        fail_at_secs,
+        duration_secs,
+        cfg.seed,
+    )
 }
 
-/// Runs any scenario under a strategy with the given kill set.
+/// Runs any scenario under a strategy with the given kill set, logging the
+/// run (labelled `label`) for the JSON reporter.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario(
+    ctx: &RunCtx,
+    label: &str,
     scenario: &Scenario,
     strategy: &Strategy,
     window: SimDuration,
@@ -88,24 +114,30 @@ pub fn run_scenario(
     let failures = if kill_nodes.is_empty() {
         vec![]
     } else {
-        vec![FailureSpec { at: SimTime::from_secs(fail_at_secs), nodes: kill_nodes }]
+        vec![FailureSpec { at: SimTime::from_secs(fail_at_secs), nodes: kill_nodes.clone() }]
     };
-    Simulation::run(
+    let report = Simulation::run(
         &scenario.query,
         scenario.placement.clone(),
         config,
         failures,
         SimDuration::from_secs(duration_secs),
-    )
+    );
+    ctx.log_run(RunLog::from_report(
+        label,
+        strategy.label(),
+        fail_at_secs,
+        kill_nodes,
+        &report,
+    ));
+    report
 }
 
 /// Mean recovery latency in seconds over the non-source tasks (the 15
 /// synthetic tasks whose nodes the §VI-A experiments kill).
 pub fn mean_synthetic_latency(report: &RunReport, scenario: &Scenario) -> f64 {
     let graph = scenario.graph();
-    crate::latency_secs(
-        report.mean_latency_of(|t| !graph.is_source_task(t)),
-    )
+    crate::latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t)))
 }
 
 /// Completion latency of a correlated failure: detection → the *last*
@@ -120,10 +152,7 @@ pub fn completion_latency(
         .recoveries
         .iter()
         .filter(|r| include(r.task))
-        .map(|r| {
-            r.latency()
-                .map_or(f64::NAN, |d| d.as_secs_f64())
-        })
+        .map(|r| r.latency().map_or(f64::NAN, |d| d.as_secs_f64()))
         .fold(f64::NAN, f64::max)
 }
 
@@ -159,5 +188,27 @@ pub fn schedule(quick: bool) -> (u64, u64) {
         (40, 130) // fail at 40s, run 130s
     } else {
         (70, 260)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppa_label_distinguishes_intervals_and_shares() {
+        let a = Strategy::Ppa { plan: TaskSet::full(8), interval_secs: 5 };
+        let b = Strategy::Ppa { plan: TaskSet::full(8), interval_secs: 30 };
+        let c = Strategy::Ppa { plan: TaskSet::empty(8), interval_secs: 5 };
+        assert_eq!(a.label(), "PPA-8t-5s");
+        assert_ne!(a.label(), b.label(), "intervals must be distinguishable");
+        assert_ne!(a.label(), c.label(), "active shares must be distinguishable");
+    }
+
+    #[test]
+    fn other_labels_are_stable() {
+        assert_eq!(Strategy::Active { sync_secs: 5 }.label(), "Active-5s");
+        assert_eq!(Strategy::Checkpoint { interval_secs: 15 }.label(), "Checkpoint-15s");
+        assert_eq!(Strategy::Storm.label(), "Storm");
     }
 }

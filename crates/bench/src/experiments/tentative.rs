@@ -7,12 +7,14 @@
 //! of the last passive recovery.
 
 use super::{run_fig6, schedule, Strategy};
+use crate::runner::RunCtx;
 use crate::{Figure, Series};
-use ppa_core::{PlanContext, Planner, StructureAwarePlanner};
+use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
-pub fn run(quick: bool) -> Vec<Figure> {
+pub fn run(ctx: &RunCtx) -> Vec<Figure> {
+    let quick = ctx.quick;
     let intervals: Vec<u64> = if quick { vec![15] } else { vec![5, 15, 30] };
     let rate = if quick { 300 } else { 1000 };
     let (fail_at, duration) = schedule(quick);
@@ -21,22 +23,23 @@ pub fn run(quick: bool) -> Vec<Figure> {
         window: SimDuration::from_secs(30),
         ..Fig6Config::default()
     };
-    let scenario = ppa_workloads::fig6_scenario(&cfg);
-    let n = scenario.graph().n_tasks();
-    let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
-    let plan = StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks;
 
-    let mut fig = Figure::new(
-        "tentative",
-        format!("Tentative output vs full recovery (PPA-0.5, rate {rate} tp/s)"),
-        "checkpoint interval (s)",
-        "seconds after detection / speedup",
-    );
-    let mut s_tentative = Series::new("first tentative output (s)");
-    let mut s_full = Series::new("full recovery (s)");
-    let mut s_speedup = Series::new("speedup (x)");
-    for &interval in &intervals {
+    // Leaf phase 1 — the PPA-0.5 plan.
+    let plan: TaskSet = ctx
+        .map(vec![()], |()| {
+            let scenario = ppa_workloads::fig6_scenario(&cfg);
+            let n = scenario.graph().n_tasks();
+            let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
+            StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks
+        })
+        .pop()
+        .expect("one plan");
+
+    // Leaf phase 2 — one run per checkpoint interval.
+    let outcomes: Vec<(f64, f64)> = ctx.map(intervals.clone(), |interval| {
+        let scenario = ppa_workloads::fig6_scenario(&cfg);
         let report = run_fig6(
+            ctx,
             &cfg,
             &Strategy::Ppa { plan: plan.clone(), interval_secs: interval },
             scenario.worker_kill_set.clone(),
@@ -57,6 +60,20 @@ pub fn run(quick: bool) -> Vec<Figure> {
             .full_recovery_at()
             .map(|t| t.since(detected).as_secs_f64())
             .unwrap_or(f64::NAN);
+        (first_tentative, full)
+    });
+
+    let mut fig = Figure::new(
+        "tentative",
+        format!("Tentative output vs full recovery (PPA-0.5, rate {rate} tp/s)"),
+        "checkpoint interval (s)",
+        "seconds after detection / speedup",
+    );
+    let mut s_tentative = Series::new("first tentative output (s)");
+    let mut s_full = Series::new("full recovery (s)");
+    let mut s_speedup = Series::new("speedup (x)");
+    for (ii, &interval) in intervals.iter().enumerate() {
+        let (first_tentative, full) = outcomes[ii];
         let x = format!("{interval}");
         s_tentative.push(x.clone(), first_tentative);
         s_full.push(x.clone(), full);

@@ -1,9 +1,10 @@
-//! Figure = labelled series over a shared x-axis, rendered as markdown.
+//! Figure = labelled series over a shared x-axis, rendered as markdown
+//! (for stdout) or JSON (for the `--json` reporter).
 
-use serde::Serialize;
+use crate::json::Json;
 
 /// One series of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub label: String,
     /// (x tick label, y value) pairs.
@@ -21,7 +22,7 @@ impl Series {
 }
 
 /// One reproduced figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. "fig08".
     pub id: String,
@@ -105,6 +106,45 @@ impl Figure {
         out.push('\n');
         out
     }
+
+    /// The figure as a JSON value. Non-finite y values (unrecovered runs)
+    /// serialize as `null`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            ("x_label", Json::str(&self.x_label)),
+            ("y_label", Json::str(&self.y_label)),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("label", Json::str(&s.label)),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|(x, y)| {
+                                                Json::obj(vec![
+                                                    ("x", Json::str(x)),
+                                                    ("y", Json::opt_num(Some(*y))),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("notes", Json::Arr(self.notes.iter().map(Json::str).collect())),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +178,20 @@ mod tests {
         s.push("a", 2.0);
         f.series.push(s);
         assert_eq!(f.ticks(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn json_rendering_nan_is_null() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        let mut s = Series::new("s");
+        s.push("a", 1.5);
+        s.push("b", f64::NAN);
+        f.series.push(s);
+        let json = f.to_json().to_pretty();
+        assert!(json.contains("\"id\": \"f\""));
+        assert!(json.contains("\"y\": 1.5"));
+        assert!(json.contains("\"y\": null"), "NaN serializes as null:\n{json}");
+        assert!(!json.contains("NaN"));
     }
 
     #[test]

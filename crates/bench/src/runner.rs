@@ -1,0 +1,330 @@
+//! The parallel experiment runner.
+//!
+//! Experiments run concurrently, one orchestration thread each; all their
+//! heavy work funnels through a single bounded [`Gate`] shared by every
+//! experiment, so `--jobs N` bounds the *whole process*, not each
+//! experiment. Results are collected and rendered in registry order, and
+//! every leaf job owns its seed, so stdout is byte-identical for any job
+//! count.
+
+use crate::pool::Gate;
+use crate::json::Json;
+use crate::{registry, Experiment, Figure};
+use ppa_engine::RunReport;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Options for one harness invocation.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct RunOptions {
+    /// CI scale instead of paper scale.
+    pub quick: bool,
+    /// Worker-pool size (leaf jobs running at once). 0 = available
+    /// parallelism.
+    pub jobs: usize,
+    /// Experiment ids to run; empty = all.
+    pub only: Vec<String>,
+    /// Emit per-experiment progress and timings on stderr.
+    pub progress: bool,
+}
+
+
+impl RunOptions {
+    /// The effective worker count: `jobs`, or available parallelism when 0.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        }
+    }
+}
+
+/// Recovery of one task inside one logged run.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    pub task: usize,
+    pub via_replica: bool,
+    /// Detection instant, seconds of virtual time.
+    pub detected_s: f64,
+    /// Detection → progress restored; `None` if the run ended first.
+    pub latency_s: Option<f64>,
+}
+
+/// One simulated run's recovery outcome, logged for the JSON reporter.
+#[derive(Debug, Clone)]
+pub struct RunLog {
+    /// Scenario label, e.g. `"win:10s rate:300tp/s"`.
+    pub scenario: String,
+    /// Strategy label, e.g. `"Checkpoint-15s"` or `"PPA-16t-15s"`.
+    pub strategy: String,
+    pub fail_at_s: u64,
+    pub kill_nodes: Vec<usize>,
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Events the simulation processed (a determinism fingerprint).
+    pub events: u64,
+}
+
+impl RunLog {
+    /// Builds a log from a finished run.
+    pub fn from_report(
+        scenario: impl Into<String>,
+        strategy: impl Into<String>,
+        fail_at_s: u64,
+        kill_nodes: Vec<usize>,
+        report: &RunReport,
+    ) -> Self {
+        RunLog {
+            scenario: scenario.into(),
+            strategy: strategy.into(),
+            fail_at_s,
+            kill_nodes,
+            recoveries: report
+                .recoveries
+                .iter()
+                .map(|r| RecoveryRecord {
+                    task: r.task.0,
+                    via_replica: r.via_replica,
+                    detected_s: r.detected_at.as_secs_f64(),
+                    latency_s: r.latency().map(|d| d.as_secs_f64()),
+                })
+                .collect(),
+            events: report.events,
+        }
+    }
+
+    /// Sort key making log order independent of worker scheduling.
+    fn sort_key(&self) -> (String, String, u64, Vec<usize>) {
+        (self.scenario.clone(), self.strategy.clone(), self.fail_at_s, self.kill_nodes.clone())
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::str(&self.scenario)),
+            ("strategy", Json::str(&self.strategy)),
+            ("fail_at_s", Json::Int(self.fail_at_s as i64)),
+            (
+                "kill_nodes",
+                Json::Arr(self.kill_nodes.iter().map(|&n| Json::Int(n as i64)).collect()),
+            ),
+            ("events", Json::Int(self.events as i64)),
+            (
+                "recoveries",
+                Json::Arr(
+                    self.recoveries
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("task", Json::Int(r.task as i64)),
+                                ("via_replica", Json::Bool(r.via_replica)),
+                                ("detected_s", Json::Num(r.detected_s)),
+                                ("latency_s", Json::opt_num(r.latency_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Per-experiment execution context: the quick flag, the shared worker
+/// gate, and the run log collector.
+pub struct RunCtx {
+    /// CI scale instead of paper scale.
+    pub quick: bool,
+    gate: Arc<Gate>,
+    logs: Mutex<Vec<RunLog>>,
+}
+
+impl RunCtx {
+    pub fn new(quick: bool, gate: Arc<Gate>) -> Self {
+        RunCtx { quick, gate, logs: Mutex::new(Vec::new()) }
+    }
+
+    /// A context with a private single-permit gate — serial execution, for
+    /// benches and tests.
+    pub fn serial(quick: bool) -> Self {
+        RunCtx::new(quick, Arc::new(Gate::new(1)))
+    }
+
+    /// Runs `f` over `items` as leaf jobs on the shared bounded pool;
+    /// results come back in input order. Leaf closures must not call `map`
+    /// again (see [`crate::pool`]).
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        self.gate.map(items, f)
+    }
+
+    /// Records a run for the JSON reporter.
+    pub fn log_run(&self, log: RunLog) {
+        self.logs.lock().expect("log collector poisoned").push(log);
+    }
+
+    /// Drains the collected run logs, sorted into a scheduling-independent
+    /// order.
+    pub fn take_logs(&self) -> Vec<RunLog> {
+        let mut logs = std::mem::take(&mut *self.logs.lock().expect("log collector poisoned"));
+        logs.sort_by_key(|l| l.sort_key());
+        logs
+    }
+}
+
+/// One experiment's outcome.
+pub struct ExperimentResult {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub section: &'static str,
+    pub figures: Vec<Figure>,
+    /// Per-run recovery logs (recovery experiments only; accuracy/planning
+    /// experiments log nothing).
+    pub runs: Vec<RunLog>,
+    /// Wall-clock time of this experiment (reported on stderr and in JSON,
+    /// never on stdout — stdout must be run-to-run identical).
+    pub wall: Duration,
+}
+
+/// A whole harness invocation's outcome.
+pub struct RunSummary {
+    pub quick: bool,
+    pub jobs: usize,
+    pub results: Vec<ExperimentResult>,
+    pub total_wall: Duration,
+}
+
+/// Resolves `opts.only` against the registry, preserving registry order.
+/// Returns the unknown ids as `Err` so the CLI can report them.
+pub fn select(only: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
+    let all = registry();
+    // Unknown ids are an error even alongside "all" — `reproduce all fgi08`
+    // is a typo the user wants to hear about, not silently run everything.
+    let unknown: Vec<String> = only
+        .iter()
+        .filter(|w| *w != "all" && !all.iter().any(|e| e.id == w.as_str()))
+        .cloned()
+        .collect();
+    if !unknown.is_empty() {
+        return Err(unknown);
+    }
+    if only.is_empty() || only.iter().any(|w| w == "all") {
+        return Ok(all);
+    }
+    Ok(all.into_iter().filter(|e| only.iter().any(|w| w == e.id)).collect())
+}
+
+/// Runs the selected experiments on the bounded pool and returns results in
+/// registry order. Panics on unknown ids — call [`select`] first to report
+/// them gracefully.
+pub fn run_experiments(opts: &RunOptions) -> RunSummary {
+    let selected = select(&opts.only).expect("unknown experiment ids");
+    let jobs = opts.effective_jobs();
+    let gate = Arc::new(Gate::new(jobs));
+    let total_start = Instant::now();
+
+    let mut results: Vec<ExperimentResult> = Vec::with_capacity(selected.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = selected
+            .iter()
+            .map(|e| {
+                let gate = Arc::clone(&gate);
+                let quick = opts.quick;
+                let progress = opts.progress;
+                scope.spawn(move || {
+                    if progress {
+                        eprintln!(">> running {}: {}", e.id, e.description);
+                    }
+                    let ctx = RunCtx::new(quick, gate);
+                    let start = Instant::now();
+                    let figures = (e.run)(&ctx);
+                    let wall = start.elapsed();
+                    if progress {
+                        eprintln!("<< {} done in {:.1?}", e.id, wall);
+                    }
+                    ExperimentResult {
+                        id: e.id,
+                        description: e.description,
+                        section: e.section,
+                        figures,
+                        runs: ctx.take_logs(),
+                        wall,
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("experiment thread panicked"));
+        }
+    });
+
+    RunSummary { quick: opts.quick, jobs, results, total_wall: total_start.elapsed() }
+}
+
+/// Renders the whole run as the markdown report printed on stdout.
+///
+/// Deliberately contains no wall-clock timings or job counts: stdout must
+/// be byte-identical between `--jobs 1` and `--jobs N` (and across
+/// repeated runs). Timings go to stderr and the JSON report.
+pub fn render_markdown(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# PPA reproduction run ({} mode)\n\n",
+        if summary.quick { "quick" } else { "full" }
+    ));
+    out.push_str(
+        "Reproducing: Su & Zhou, \"Tolerating Correlated Failures in Massively \
+         Parallel Stream Processing Engines\", ICDE 2016.\n\n",
+    );
+    for result in &summary.results {
+        out.push_str(&format!("## {} ({})\n\n", result.description, result.section));
+        for fig in &result.figures {
+            out.push_str(&fig.to_markdown());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_all_and_subsets() {
+        assert_eq!(select(&[]).unwrap().len(), registry().len());
+        assert_eq!(select(&["all".into()]).unwrap().len(), registry().len());
+        let picked = select(&["fig13".into(), "fig08".into()]).unwrap();
+        // Registry order, not request order.
+        assert_eq!(picked.iter().map(|e| e.id).collect::<Vec<_>>(), vec!["fig08", "fig13"]);
+        assert_eq!(select(&["nope".into()]).unwrap_err(), vec!["nope".to_string()]);
+        // A typo next to "all" is still an error, not a silent run-everything.
+        assert_eq!(
+            select(&["all".into(), "fgi08".into()]).unwrap_err(),
+            vec!["fgi08".to_string()]
+        );
+    }
+
+    #[test]
+    fn take_logs_sorts_deterministically() {
+        let ctx = RunCtx::serial(true);
+        let mk = |scenario: &str, strategy: &str| RunLog {
+            scenario: scenario.into(),
+            strategy: strategy.into(),
+            fail_at_s: 40,
+            kill_nodes: vec![4],
+            recoveries: vec![],
+            events: 0,
+        };
+        ctx.log_run(mk("b", "Storm"));
+        ctx.log_run(mk("a", "Storm"));
+        ctx.log_run(mk("a", "Active-5s"));
+        let logs = ctx.take_logs();
+        let keys: Vec<_> =
+            logs.iter().map(|l| (l.scenario.as_str(), l.strategy.as_str())).collect();
+        assert_eq!(keys, vec![("a", "Active-5s"), ("a", "Storm"), ("b", "Storm")]);
+        assert!(ctx.take_logs().is_empty(), "take drains");
+    }
+}

@@ -1,0 +1,59 @@
+//! Harness integration tests: every registered experiment must run at quick
+//! scale, and the parallel runner must be observably deterministic — the
+//! rendered report and serialized figures/run logs may not depend on the
+//! worker count.
+
+use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
+
+fn opts(jobs: usize) -> RunOptions {
+    RunOptions { quick: true, jobs, only: Vec::new(), progress: false }
+}
+
+#[test]
+fn every_registry_entry_runs_quick_and_yields_figures() {
+    let summary = run_experiments(&opts(4));
+    assert_eq!(summary.results.len(), registry().len(), "every experiment ran");
+    for result in &summary.results {
+        assert!(!result.figures.is_empty(), "{} returned no figures", result.id);
+        for fig in &result.figures {
+            assert!(!fig.series.is_empty(), "{}: figure {} has no series", result.id, fig.id);
+            for series in &fig.series {
+                assert!(
+                    !series.points.is_empty(),
+                    "{}: figure {} series {} has no points",
+                    result.id,
+                    fig.id,
+                    series.label
+                );
+            }
+        }
+    }
+    // The recovery experiments must also have logged their runs.
+    for id in ["fig07", "fig08", "fig09", "fig10", "tentative"] {
+        let result = summary.results.iter().find(|r| r.id == id).unwrap();
+        assert!(!result.runs.is_empty(), "{id} logged no runs for the JSON reporter");
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
+    let only: Vec<String> = vec!["fig07".into(), "fig10".into(), "fig12".into(), "fig14".into()];
+    let serial = run_experiments(&RunOptions { only: only.clone(), ..opts(1) });
+    let parallel = run_experiments(&RunOptions { only, ..opts(4) });
+
+    // The stdout report is byte-identical.
+    assert_eq!(render_markdown(&serial), render_markdown(&parallel));
+
+    // So is every figure's and every run log's serialization (wall-clock
+    // timings are deliberately outside the compared payload).
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (a, b) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(a.id, b.id, "registry order is preserved");
+        let figs_a: Vec<String> = a.figures.iter().map(|f| f.to_json().to_pretty()).collect();
+        let figs_b: Vec<String> = b.figures.iter().map(|f| f.to_json().to_pretty()).collect();
+        assert_eq!(figs_a, figs_b, "{}: figures differ across job counts", a.id);
+        let runs_a: Vec<String> = a.runs.iter().map(|l| l.to_json().to_pretty()).collect();
+        let runs_b: Vec<String> = b.runs.iter().map(|l| l.to_json().to_pretty()).collect();
+        assert_eq!(runs_a, runs_b, "{}: run logs differ across job counts", a.id);
+    }
+}

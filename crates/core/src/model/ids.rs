@@ -1,11 +1,10 @@
 //! Small typed identifiers for operators, edges and tasks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an operator within a [`super::Topology`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct OperatorId(pub usize);
 
@@ -17,7 +16,7 @@ impl fmt::Display for OperatorId {
 
 /// Index of an operator-level edge within a [`super::Topology`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct EdgeId(pub usize);
 
@@ -27,7 +26,7 @@ pub struct EdgeId(pub usize);
 /// contiguous range, so the pair *(operator, local index)* and the global
 /// index are freely interconvertible via [`super::TaskGraph`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct TaskIndex(pub usize);
 

@@ -1,7 +1,6 @@
 //! Operator specifications: parallelism, input semantics, selectivity and
 //! per-task workload weights.
 
-use serde::{Deserialize, Serialize};
 
 /// Whether an operator computes over the *join* of its input streams or over
 /// their *union* (§III-A1).
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 ///   the others (Eq. 2).
 /// * `Independent` — the effective input is the union of the input streams;
 ///   losses average rate-weighted across streams (Eq. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputSemantics {
     Independent,
     Correlated,
@@ -19,7 +18,7 @@ pub enum InputSemantics {
 
 /// How an operator's key space (and therefore workload) is distributed among
 /// its parallel tasks. This is the skew knob of the Fig. 14(a) experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TaskWeights {
     /// All tasks receive an equal share.
     Uniform,
@@ -60,7 +59,7 @@ impl TaskWeights {
 ///
 /// Operators are user-defined functions whose semantics are opaque to the
 /// system; the model only needs the handful of fields below (§III-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatorSpec {
     /// Human-readable name used in reports and errors.
     pub name: String,

@@ -1,6 +1,5 @@
 //! The four partitioning situations between neighbouring operators (§II-A).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the output stream of an upstream operator with `N1` tasks is divided
@@ -13,7 +12,7 @@ use std::fmt;
 ///   the block of `k` upstream tasks `j·k .. (j+1)·k`.
 /// * `Full` — complete bipartite: every upstream task feeds every downstream
 ///   task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Partitioning {
     OneToOne,
     Split,
@@ -40,8 +39,8 @@ impl Partitioning {
         }
         match self {
             Partitioning::OneToOne => upstream == downstream,
-            Partitioning::Split => downstream > upstream && downstream % upstream == 0,
-            Partitioning::Merge => upstream > downstream && upstream % downstream == 0,
+            Partitioning::Split => downstream > upstream && downstream.is_multiple_of(upstream),
+            Partitioning::Merge => upstream > downstream && upstream.is_multiple_of(downstream),
             Partitioning::Full => true,
         }
     }

@@ -59,9 +59,7 @@ impl TaskGraph {
 
         let mut task_op = vec![OperatorId(0); n_tasks];
         for (i, op) in topology.operators().iter().enumerate() {
-            for t in offsets[i]..offsets[i] + op.parallelism {
-                task_op[t] = OperatorId(i);
-            }
+            task_op[offsets[i]..offsets[i] + op.parallelism].fill(OperatorId(i));
         }
 
         let mut inputs: Vec<Vec<InputStream>> = vec![Vec::new(); n_tasks];

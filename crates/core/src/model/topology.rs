@@ -2,10 +2,9 @@
 
 use super::{EdgeId, OperatorId, OperatorSpec, Partitioning};
 use crate::error::{CoreError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A directed operator-level edge carrying a partitioned stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     pub from: OperatorId,
     pub to: OperatorId,
@@ -17,7 +16,7 @@ pub struct Edge {
 /// Construct via [`TopologyBuilder`]; a constructed `Topology` is guaranteed
 /// acyclic, with at least one source and one sink, and with every edge's
 /// partitioning compatible with the parallelism of its endpoints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     operators: Vec<OperatorSpec>,
     edges: Vec<Edge>,

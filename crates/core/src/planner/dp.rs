@@ -92,16 +92,25 @@ impl Planner for DpPlanner {
         }
 
         // Arg-max over live and retired candidates; prefer fewer resources on
-        // ties (Theorem 1).
+        // ties (Theorem 1), then the lexicographically smallest set — the
+        // candidates come out of a HashSet, so without a total tie-break the
+        // winner would depend on randomized iteration order and identical
+        // runs could return different (equally optimal) plans.
         let mut best = TaskSet::empty(n);
         let mut best_score = cx.score_plan(&best);
         for cp in sc.iter().chain(retired.iter()) {
             let score = cx.score_plan(cp);
+            let tied = score > best_score - 1e-12;
             if score > best_score + 1e-12
-                || (score > best_score - 1e-12 && cp.len() < best.len())
+                || (tied && cp.len() < best.len())
+                || (tied && cp.len() == best.len() && *cp < best)
             {
                 best = cp.clone();
-                best_score = score;
+                // Keep the running *maximum* on tie wins — adopting the
+                // tied (possibly epsilon-lower) score would let the tie
+                // threshold drift downward and re-introduce iteration-order
+                // dependence across near-tie chains.
+                best_score = best_score.max(score);
             }
         }
         Ok(Plan { tasks: best, value: best_score })

@@ -158,7 +158,7 @@ impl Planner for StructureAwarePlanner {
 
         // No budget can complete even the smallest MC-tree: give up early
         // (the paper's line-3 guard, tightened to the minimal tree size —
-        // see DESIGN.md).
+        // see README.md §Design notes).
         if budget < min_tree_size(graph) {
             return Ok(cx.make_plan(TaskSet::empty(n)));
         }
@@ -171,7 +171,7 @@ impl Planner for StructureAwarePlanner {
         // with cone-local scoring the density loop bootstraps upstream
         // sub-topologies first on its own, and skipping the unconditional
         // seeding avoids wasting budget on low-value sub-topologies
-        // (documented deviation, DESIGN.md).
+        // (documented deviation, README.md §Design notes).
         loop {
             let remaining = budget.saturating_sub(plan.len());
             if remaining == 0 {
@@ -249,7 +249,7 @@ impl Planner for StructureAwarePlanner {
 
 /// Spends remaining budget on the best-density *support group* per
 /// still-unplanned task: the task plus the minimal upstream/downstream
-/// complement that lets it contribute (documented deviation, DESIGN.md —
+/// complement that lets it contribute (documented deviation, README.md §Design notes —
 /// the paper's Algorithm 5 strands budget once no complete MC-tree fits).
 /// Also covers tasks that segment-cap truncation hid from the candidate
 /// enumeration.

@@ -171,9 +171,9 @@ impl RandomTopologySpec {
                         || matches!(self.style, TopologyStyle::Full | TopologyStyle::Mixed { .. })
                         || parallelism[i] == parallelism[v]
                         || (parallelism[i] > parallelism[v]
-                            && parallelism[i] % parallelism[v] == 0)
+                            && parallelism[i].is_multiple_of(parallelism[v]))
                         || (parallelism[v] > parallelism[i]
-                            && parallelism[v] % parallelism[i] == 0)
+                            && parallelism[v].is_multiple_of(parallelism[i]))
                 });
                 if let Some(v) = compatible_later {
                     if !edges.contains(&(i, v)) {
@@ -214,7 +214,7 @@ impl RandomTopologySpec {
                         Partitioning::OneToOne
                     }
                     1 => {
-                        let k = rng.gen_range(2..=3);
+                        let k = rng.gen_range(2..=3usize);
                         if n1 * k <= pmax.max(n1 * 2) {
                             parallelism[v] = n1 * k;
                             Partitioning::Split
@@ -225,7 +225,7 @@ impl RandomTopologySpec {
                     }
                     _ => {
                         let divisors: Vec<usize> =
-                            (1..n1).filter(|d| n1 % d == 0 && *d < n1).collect();
+                            (1..n1).filter(|d| n1.is_multiple_of(*d) && *d < n1).collect();
                         if let Some(&d) = divisors.get(rng.gen_range(0..divisors.len().max(1)))
                         {
                             parallelism[v] = d;
@@ -241,9 +241,9 @@ impl RandomTopologySpec {
                 let n2 = parallelism[v];
                 if n1 == n2 {
                     Partitioning::OneToOne
-                } else if n1 > n2 && n1 % n2 == 0 {
+                } else if n1 > n2 && n1.is_multiple_of(n2) {
                     Partitioning::Merge
-                } else if n2 > n1 && n2 % n1 == 0 {
+                } else if n2 > n1 && n2.is_multiple_of(n1) {
                     Partitioning::Split
                 } else if matches!(self.style, TopologyStyle::Structured) && !is_join[v] {
                     // Dropping the edge keeps the corpus purely structured;

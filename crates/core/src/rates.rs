@@ -11,7 +11,7 @@
 //!   rates`. The paper uses the Cartesian product as the *effective input*
 //!   of a correlated operator only for loss propagation (Eq. 2, which is
 //!   rate-free); it never defines a join's output rate, so we use the same
-//!   sum rule for both operator kinds (documented in DESIGN.md);
+//!   sum rule for both operator kinds (documented in README.md §Design notes);
 //! * a task's output stream is copied to every subscribing downstream
 //!   operator and split among that operator's tasks proportionally to the
 //!   workload weights of the reachable targets.

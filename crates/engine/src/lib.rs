@@ -1,7 +1,7 @@
 //! # ppa-engine — a Storm-like MPSPE substrate with PPA fault tolerance
 //!
 //! This crate implements §V of the paper as a deterministic discrete-event
-//! simulation of a cluster (see DESIGN.md §4 for why the EC2/Storm testbed
+//! simulation of a cluster (see README.md §Design notes for why the EC2/Storm testbed
 //! is substituted this way):
 //!
 //! * **Batch dataflow** — input streams are cut into batches closed by

@@ -6,9 +6,12 @@ use ppa_core::model::{OperatorId, OperatorSpec, Partitioning, Topology, Topology
 use ppa_core::{CoreError, Result};
 
 /// Factory producing a task's source generator, given the task-local index.
-pub type SourceFactory = Box<dyn Fn(usize) -> Box<dyn SourceGen>>;
+///
+/// `Send + Sync` so a built [`Query`] can be shared across the experiment
+/// harness's worker threads.
+pub type SourceFactory = Box<dyn Fn(usize) -> Box<dyn SourceGen> + Send + Sync>;
 /// Factory producing a task's UDF, given the task-local index.
-pub type UdfFactory = Box<dyn Fn(usize) -> Box<dyn Udf>>;
+pub type UdfFactory = Box<dyn Fn(usize) -> Box<dyn Udf> + Send + Sync>;
 
 /// An executable query: topology + per-operator factories.
 pub struct Query {
@@ -60,7 +63,7 @@ impl QueryBuilder {
     pub fn add_source(
         &mut self,
         spec: OperatorSpec,
-        factory: impl Fn(usize) -> Box<dyn SourceGen> + 'static,
+        factory: impl Fn(usize) -> Box<dyn SourceGen> + Send + Sync + 'static,
     ) -> OperatorId {
         let id = self.topology.add_operator(spec);
         self.sources.push(Some(Box::new(factory)));
@@ -72,7 +75,7 @@ impl QueryBuilder {
     pub fn add_operator(
         &mut self,
         spec: OperatorSpec,
-        factory: impl Fn(usize) -> Box<dyn Udf> + 'static,
+        factory: impl Fn(usize) -> Box<dyn Udf> + Send + Sync + 'static,
     ) -> OperatorId {
         let id = self.topology.add_operator(spec);
         self.sources.push(None);

@@ -19,6 +19,11 @@
 //!   primary→replica sync for replicas); checkpoints include the output
 //!   buffer, so a restored task can re-serve its downstream immediately.
 
+// The runtime's internal bookkeeping uses nested generic types whose shape
+// is the documentation (batch id -> (payload, tentative), per-slot); naming
+// each would add indirection without clarity.
+#![allow(clippy::type_complexity)]
+
 use crate::config::{EngineConfig, FtMode};
 use crate::placement::{NodeId, Placement};
 use crate::query::Query;

@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn map_udf_filters_and_transforms() {
         let mut udf = MapUdf::new(|t: &Tuple| {
-            (t.key % 2 == 0).then(|| Tuple::new(t.key, Value::Int(1)))
+            t.key.is_multiple_of(2).then(|| Tuple::new(t.key, Value::Int(1)))
         });
         let tuples: Vec<Tuple> = (0..6).map(Tuple::key_only).collect();
         let mut out = Vec::new();

@@ -115,6 +115,10 @@ impl<E> Scheduler<E> {
 
     /// Fires the next event, advancing the clock. Returns `None` when the
     /// queue is drained.
+    ///
+    /// Deliberately named like `Iterator::next`; the scheduler is not an
+    /// iterator because callers interleave `schedule` with draining.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let (at, event) = self.queue.pop()?;
         debug_assert!(at >= self.now);

@@ -1,7 +1,7 @@
 //! # ppa-sim — deterministic discrete-event simulation kernel
 //!
 //! The PPA paper evaluates on a 36-node EC2 cluster; this workspace
-//! substitutes a deterministic discrete-event simulation (see DESIGN.md §4).
+//! substitutes a deterministic discrete-event simulation (README.md §Design notes).
 //! This crate is the kernel: virtual time, a stable event queue, and a
 //! scheduler that the stream engine (`ppa-engine`) drives.
 //!

@@ -6,7 +6,7 @@
 //!   nodes.
 //! * [`worldcup`] — Q1 (§VI-B): a hierarchical top-100 aggregation over a
 //!   WorldCup'98-style access log. The original trace is not redistributable,
-//!   so a Zipf-popularity synthetic log generator stands in (see DESIGN.md
+//!   so a Zipf-popularity synthetic log generator stands in (see README.md
 //!   §4 — only the (server, object) shape matters to the query).
 //! * [`navigation`] — Q2 (§VI-B): traffic-incident detection over a
 //!   community-based navigation feed: a user-location stream joined with a
@@ -57,12 +57,12 @@ pub(crate) fn dedicated_placement(graph: &TaskGraph) -> (Placement, Vec<usize>) 
     let n_source_tasks = graph.source_tasks().len();
     let n_source_nodes = n_source_tasks.div_ceil(4).max(1);
     let mut next_worker = n_source_nodes;
-    for t in 0..n {
+    for (t, slot) in primary.iter_mut().enumerate() {
         if graph.is_source_task(ppa_core::model::TaskIndex(t)) {
-            primary[t] = next_source_slot / 4;
+            *slot = next_source_slot / 4;
             next_source_slot += 1;
         } else {
-            primary[t] = next_worker;
+            *slot = next_worker;
             worker_nodes.push(next_worker);
             next_worker += 1;
         }

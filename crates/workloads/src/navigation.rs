@@ -99,7 +99,7 @@ impl IncidentSchedule {
 
     /// Incidents `(id, segment)` starting exactly at `batch`.
     pub fn starting_at(&self, batch: u64) -> Vec<(u64, usize)> {
-        if batch % self.every != 0 {
+        if !batch.is_multiple_of(self.every) {
             return Vec::new();
         }
         let k = batch / self.every;
@@ -108,7 +108,7 @@ impl IncidentSchedule {
 
     /// Incidents `(id, segment)` active during `batch`.
     pub fn active_at(&self, batch: u64) -> Vec<(u64, usize)> {
-        let first = (batch.saturating_sub(self.duration.saturating_sub(1)) / self.every).max(0);
+        let first = batch.saturating_sub(self.duration.saturating_sub(1)) / self.every;
         let last = batch / self.every;
         (first..=last)
             .filter(|k| {
@@ -419,8 +419,8 @@ impl Udf for JamAggregate {
 
 /// Builds the Q2 query.
 pub fn q2_query(cfg: &NavigationConfig) -> Query {
-    assert!(cfg.loc_src_tasks % cfg.o1_tasks == 0);
-    assert!(cfg.o1_tasks % cfg.o3_tasks == 0);
+    assert!(cfg.loc_src_tasks.is_multiple_of(cfg.o1_tasks));
+    assert!(cfg.o1_tasks.is_multiple_of(cfg.o3_tasks));
     let map = SegmentMap {
         loc_src_tasks: cfg.loc_src_tasks,
         o1_tasks: cfg.o1_tasks,

@@ -4,7 +4,7 @@
 //! at 48× speed. That trace is not redistributable, so we generate a
 //! synthetic access log with Zipf object popularity — Q1 consumes only
 //! (server, object) pairs and measures top-k overlap, so a heavy-tailed
-//! synthetic log exercises exactly the same code paths (DESIGN.md §4).
+//! synthetic log exercises exactly the same code paths (README.md §Design notes).
 //!
 //! Topology (paper Fig. 11): `source(16) -merge-> O1(8) -merge-> O2(4)
 //! -merge-> O3(1)`. O1 computes per-slice (here: per-batch) hit counts per
@@ -163,7 +163,7 @@ impl Udf for TopK {
 
 /// Builds the Q1 query.
 pub fn q1_query(cfg: &Q1Config) -> Query {
-    assert!(cfg.src_tasks % cfg.o1_tasks == 0 && cfg.o1_tasks % cfg.o2_tasks == 0);
+    assert!(cfg.src_tasks.is_multiple_of(cfg.o1_tasks) && cfg.o1_tasks.is_multiple_of(cfg.o2_tasks));
     let mut q = QueryBuilder::new();
     let objects_per_task = (cfg.n_objects / cfg.src_tasks).max(1);
     let zipf = Zipf::new(objects_per_task, cfg.zipf_s);

@@ -6,7 +6,7 @@
 //! cargo run --release --example failure_drill
 //! ```
 
-use ppa::core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
+use ppa::core::{PlanContext, Planner, StructureAwarePlanner};
 use ppa::engine::{EngineConfig, FailureSpec, FtMode, Simulation};
 use ppa::sim::{SimDuration, SimTime};
 use ppa::workloads::{fig6_scenario, Fig6Config};

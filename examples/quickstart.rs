@@ -19,7 +19,7 @@ fn main() {
         Box::new(CountingSource { per_batch: 1_000, seed: 7 + task as u64, key_space: 4096 })
     });
     let filters = q.add_operator(OperatorSpec::map("filter", 2, 0.5), |_| {
-        Box::new(MapUdf::new(|t: &Tuple| (t.key % 2 == 0).then(|| t.clone())))
+        Box::new(MapUdf::new(|t: &Tuple| t.key.is_multiple_of(2).then(|| t.clone())))
     });
     let collect = q.add_operator(OperatorSpec::map("collect", 1, 1.0), |_| {
         Box::new(MapUdf::new(|t: &Tuple| Some(t.clone())))

@@ -209,16 +209,12 @@ fn observed_rates_close_the_adaptation_loop() {
     let rates = report.observed_out_rates();
     assert_eq!(rates.len(), 31);
     // Sources emit at the configured 300 t/s.
-    for t in 0..16 {
-        assert!(
-            (rates[t] - 300.0).abs() < 45.0,
-            "source {t} observed {}",
-            rates[t]
-        );
+    for (t, &rate) in rates.iter().enumerate().take(16) {
+        assert!((rate - 300.0).abs() < 45.0, "source {t} observed {rate}");
     }
     // Downstream halves per hop (selectivity 0.5): O1 tasks ~300 t/s out.
-    for t in 16..24 {
-        assert!((rates[t] - 300.0).abs() < 60.0, "O1 task {t} observed {}", rates[t]);
+    for (t, &rate) in rates.iter().enumerate().take(24).skip(16) {
+        assert!((rate - 300.0).abs() < 60.0, "O1 task {t} observed {rate}");
     }
     // Re-plan against the observed rates: stable workload => no migration.
     let cx = PlanContext::new(scenario.query.topology()).unwrap();

@@ -3,12 +3,13 @@
 //! must predict it better than IC does on the join query.
 
 use ppa_bench::experiments::fig12::{AccuracyHarness, QueryKind};
+use ppa_bench::RunCtx;
 use ppa::core::planner::Objective;
 use ppa::core::{Planner, StructureAwarePlanner, TaskSet};
 
 #[test]
 fn q1_accuracy_tracks_of_and_grows_with_budget() {
-    let harness = AccuracyHarness::new(QueryKind::Q1, true);
+    let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q1, true);
     let cx = harness.context(Objective::OutputFidelity);
     let mut prev_acc = -1.0;
     for ratio in [0.3, 0.6, 0.9] {
@@ -31,7 +32,7 @@ fn q1_accuracy_tracks_of_and_grows_with_budget() {
 
 #[test]
 fn q1_empty_plan_loses_everything() {
-    let harness = AccuracyHarness::new(QueryKind::Q1, true);
+    let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q1, true);
     let n = harness.scenario.graph().n_tasks();
     let acc = harness.measure(&TaskSet::empty(n));
     assert_eq!(acc, 0.0, "no replicas, no tentative output");
@@ -39,7 +40,7 @@ fn q1_empty_plan_loses_everything() {
 
 #[test]
 fn q1_full_plan_is_nearly_perfect() {
-    let harness = AccuracyHarness::new(QueryKind::Q1, true);
+    let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q1, true);
     let n = harness.scenario.graph().n_tasks();
     let acc = harness.measure(&TaskSet::full(n));
     assert!(acc > 0.9, "full replication keeps the top-k intact, got {acc}");
@@ -47,7 +48,7 @@ fn q1_full_plan_is_nearly_perfect() {
 
 #[test]
 fn q2_of_plan_beats_ic_plan_in_reality() {
-    let harness = AccuracyHarness::new(QueryKind::Q2, true);
+    let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q2, true);
     let cx_of = harness.context(Objective::OutputFidelity);
     let cx_ic = harness.context(Objective::InternalCompleteness);
     let budget = harness.budget(0.6);
@@ -69,7 +70,7 @@ fn q2_of_plan_beats_ic_plan_in_reality() {
 
 #[test]
 fn q2_full_plan_detects_all_jams() {
-    let harness = AccuracyHarness::new(QueryKind::Q2, true);
+    let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q2, true);
     let n = harness.scenario.graph().n_tasks();
     let acc = harness.measure(&TaskSet::full(n));
     assert!(acc > 0.95, "full replication must keep detecting jams, got {acc}");
@@ -77,7 +78,7 @@ fn q2_full_plan_detects_all_jams() {
 
 #[test]
 fn experiments_registry_is_complete() {
-    let ids: Vec<&str> = ppa_bench::registry().iter().map(|(id, _, _)| *id).collect();
+    let ids: Vec<&str> = ppa_bench::registry().iter().map(|e| e.id).collect();
     assert_eq!(
         ids,
         vec!["fig07", "fig08", "fig09", "fig10", "fig12", "fig13", "fig14", "tentative"]
@@ -86,7 +87,7 @@ fn experiments_registry_is_complete() {
 
 #[test]
 fn fig9_experiment_shape_holds_at_quick_scale() {
-    let figs = ppa_bench::experiments::fig09::run(true);
+    let figs = ppa_bench::experiments::fig09::run(&RunCtx::serial(true));
     let fig = &figs[0];
     for series in &fig.series {
         // Ratio falls monotonically with the checkpoint interval.
@@ -105,7 +106,7 @@ fn fig9_experiment_shape_holds_at_quick_scale() {
 
 #[test]
 fn figure_markdown_is_renderable() {
-    for fig in ppa_bench::experiments::fig09::run(true) {
+    for fig in ppa_bench::experiments::fig09::run(&RunCtx::serial(true)) {
         let md = fig.to_markdown();
         assert!(md.contains("### fig09"));
         assert!(md.lines().count() > 5);
