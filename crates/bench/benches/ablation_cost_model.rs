@@ -13,7 +13,10 @@ use ppa_workloads::{fig6_scenario, Fig6Config};
 
 fn latency(cfg: &Fig6Config, mode: FtMode, replay_mult: f64) -> f64 {
     let scenario = fig6_scenario(cfg);
-    let mut config = EngineConfig { mode, ..EngineConfig::default() };
+    let mut config = EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    };
     config.costs.replay_per_tuple = config.costs.replay_per_tuple.mul_f64(replay_mult);
     let report = Simulation::run(
         &scenario.query,
@@ -42,9 +45,16 @@ fn main() {
     for mult in [0.5f64, 1.0, 2.0] {
         group.bench(&format!("replay-x{mult}"), || {
             let active = latency(&cfg, FtMode::active(n_tasks), mult);
-            let cp5 = latency(&cfg, FtMode::checkpoint(n_tasks, SimDuration::from_secs(5)), mult);
-            let cp30 =
-                latency(&cfg, FtMode::checkpoint(n_tasks, SimDuration::from_secs(30)), mult);
+            let cp5 = latency(
+                &cfg,
+                FtMode::checkpoint(n_tasks, SimDuration::from_secs(5)),
+                mult,
+            );
+            let cp30 = latency(
+                &cfg,
+                FtMode::checkpoint(n_tasks, SimDuration::from_secs(30)),
+                mult,
+            );
             assert!(
                 active < cp5 && cp5 < cp30,
                 "ordering broke at replay multiplier {mult}: \

@@ -1,0 +1,43 @@
+//! Bench for the corr_sweep experiment: one generated-cascade recovery run
+//! per strategy at reduced scale. The timed quantity is the simulation
+//! wall time; the reproduced metric itself comes from
+//! `cargo run -p ppa-bench --bin reproduce`.
+
+use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::stopwatch::Group;
+use ppa_bench::RunCtx;
+use ppa_faults::{CascadeProcess, FailureProcess};
+use ppa_sim::{SimDuration, SimTime};
+use ppa_workloads::Fig6Config;
+
+fn main() {
+    let ctx = RunCtx::serial(true);
+    let cfg = Fig6Config {
+        rate: 300,
+        window: SimDuration::from_secs(10),
+        ..Fig6Config::default()
+    };
+    let scenario = ppa_workloads::fig6_scenario(&cfg);
+    // Racks of 5 workers; the failure cascades with p=0.9, decaying.
+    let tree = scenario.worker_fault_domains(5);
+    let process = CascadeProcess {
+        level: 1,
+        spread: 0.9,
+        decay: 0.5,
+        hop_delay: SimDuration::from_secs(2),
+        fraction: 1.0,
+    };
+    let trace =
+        process.generate_seeded(&tree, SimTime::from_secs(40), SimDuration::from_secs(60), 7);
+    let group = Group::new("corr_sweep").sample_size(10);
+    for strategy in [
+        Strategy::Active { sync_secs: 5 },
+        Strategy::Checkpoint { interval_secs: 5 },
+    ] {
+        group.bench(&strategy.label(), || {
+            let report = run_fig6(&ctx, &cfg, &strategy, &trace, 130);
+            assert!(!report.recoveries.is_empty());
+            report.events
+        });
+    }
+}

@@ -3,7 +3,7 @@
 //! wall time; the reproduced metric itself comes from
 //! `cargo run -p ppa-bench --bin reproduce`.
 
-use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::experiments::{kill_set_trace, run_fig6, Strategy};
 use ppa_bench::stopwatch::Group;
 use ppa_bench::RunCtx;
 use ppa_sim::SimDuration;
@@ -25,7 +25,7 @@ fn main() {
         Strategy::Storm,
     ] {
         group.bench(&strategy.label(), || {
-            let report = run_fig6(&ctx, &cfg, &strategy, vec![node], 40, 120);
+            let report = run_fig6(&ctx, &cfg, &strategy, &kill_set_trace(40, vec![node]), 120);
             assert!(report.mean_recovery_latency().is_some());
             report.events
         });

@@ -1,7 +1,7 @@
 //! Bench for the Fig. 8 experiment: one correlated-failure recovery run
 //! per strategy at reduced scale.
 
-use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::experiments::{kill_set_trace, run_fig6, Strategy};
 use ppa_bench::stopwatch::Group;
 use ppa_bench::RunCtx;
 use ppa_sim::SimDuration;
@@ -23,7 +23,13 @@ fn main() {
         Strategy::Storm,
     ] {
         group.bench(&strategy.label(), || {
-            let report = run_fig6(&ctx, &cfg, &strategy, kill.clone(), 40, 130);
+            let report = run_fig6(
+                &ctx,
+                &cfg,
+                &strategy,
+                &kill_set_trace(40, kill.clone()),
+                130,
+            );
             assert_eq!(report.recoveries.len(), 15);
             report.events
         });

@@ -4,6 +4,7 @@
 use ppa_bench::experiments::{run_fig6, Strategy};
 use ppa_bench::stopwatch::Group;
 use ppa_bench::RunCtx;
+use ppa_engine::FailureTrace;
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
@@ -20,9 +21,10 @@ fn main() {
             let report = run_fig6(
                 &ctx,
                 &cfg,
-                &Strategy::Checkpoint { interval_secs: interval },
-                vec![],
-                0,
+                &Strategy::Checkpoint {
+                    interval_secs: interval,
+                },
+                &FailureTrace::new(),
                 60,
             );
             assert!(report.mean_checkpoint_ratio() > 0.0);

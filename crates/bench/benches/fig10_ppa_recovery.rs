@@ -1,7 +1,7 @@
 //! Bench for the Fig. 10 experiment: correlated-failure recovery under PPA
 //! plans with different active shares, at reduced scale.
 
-use ppa_bench::experiments::{run_fig6, Strategy};
+use ppa_bench::experiments::{kill_set_trace, run_fig6, Strategy};
 use ppa_bench::stopwatch::Group;
 use ppa_bench::RunCtx;
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
@@ -19,7 +19,10 @@ fn main() {
     let kill = scenario.worker_kill_set.clone();
     let n = scenario.graph().n_tasks();
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
-    let half = StructureAwarePlanner::default().plan(&cx, n / 2).unwrap().tasks;
+    let half = StructureAwarePlanner::default()
+        .plan(&cx, n / 2)
+        .unwrap()
+        .tasks;
 
     let group = Group::new("fig10_ppa_recovery").sample_size(10);
     for (label, plan) in [
@@ -31,9 +34,11 @@ fn main() {
             let report = run_fig6(
                 &ctx,
                 &cfg,
-                &Strategy::Ppa { plan: plan.clone(), interval_secs: 15 },
-                kill.clone(),
-                40,
+                &Strategy::Ppa {
+                    plan: plan.clone(),
+                    interval_secs: 15,
+                },
+                &kill_set_trace(40, kill.clone()),
                 130,
             );
             assert_eq!(report.recoveries.len(), 15);

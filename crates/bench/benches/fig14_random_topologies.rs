@@ -20,8 +20,10 @@ fn main() {
     };
     let mut rng = StdRng::seed_from_u64(14);
     let corpus: Vec<_> = (0..4).map(|_| spec.generate(&mut rng)).collect();
-    let contexts: Vec<PlanContext> =
-        corpus.iter().map(|t| PlanContext::new(t).unwrap()).collect();
+    let contexts: Vec<PlanContext> = corpus
+        .iter()
+        .map(|t| PlanContext::new(t).unwrap())
+        .collect();
 
     let group = Group::new("fig14_random_topologies").sample_size(10);
     let planners: Vec<(&str, Box<dyn Planner>)> = vec![

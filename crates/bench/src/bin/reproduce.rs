@@ -3,8 +3,8 @@
 //! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--json PATH]
-//!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative | all]
+//! reproduce [--quick] [--jobs N] [--json PATH] [--list]
+//!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
@@ -15,10 +15,14 @@ use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] [EXPERIMENT.. | all]";
+const USAGE: &str =
+    "usage: reproduce [--quick] [--jobs N] [--json PATH] [--list] [EXPERIMENT.. | all]";
 
 fn main() -> ExitCode {
-    let mut opts = RunOptions { progress: true, ..RunOptions::default() };
+    let mut opts = RunOptions {
+        progress: true,
+        ..RunOptions::default()
+    };
     let mut json_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -42,6 +46,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 json_path = Some(PathBuf::from(p));
+            }
+            "--list" | "-l" => {
+                // Discovery without reading experiments/mod.rs: the ids,
+                // one per line, machine-friendly (descriptions go to --help).
+                for e in registry() {
+                    println!("{}", e.id);
+                }
+                return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!("{USAGE}\n\nknown experiments:");
@@ -81,7 +93,8 @@ fn main() -> ExitCode {
 
     if let Some(path) = json_path {
         if let Err(err) = ppa_bench::report::write_json(&summary, &path) {
-            eprintln!("failed to write {}: {err}", path.display());
+            // write_json's error already names the target path.
+            eprintln!("error: {err}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());

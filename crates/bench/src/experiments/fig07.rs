@@ -4,7 +4,7 @@
 //! for Storm), so — like the paper — we average over failures injected at
 //! different operators.
 
-use super::{fig6_grid, grid_label, run_scenario, schedule, Strategy};
+use super::{fig6_grid, grid_label, kill_set_trace, run_scenario, schedule, Strategy};
 use crate::runner::RunCtx;
 use crate::{Figure, Series};
 
@@ -53,8 +53,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             &scenario,
             &strategies[si],
             cfg.window,
-            vec![node],
-            fail_at,
+            &kill_set_trace(fail_at, vec![node]),
             duration,
             cfg.seed,
         );
@@ -71,8 +70,9 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let mut series = Series::new(strategy.label());
         for (ci, cfg) in grid.iter().enumerate() {
             let base = (si * grid.len() + ci) * locs.len();
-            let vals: Vec<f64> =
-                (0..locs.len()).filter_map(|k| latencies[base + k]).collect();
+            let vals: Vec<f64> = (0..locs.len())
+                .filter_map(|k| latencies[base + k])
+                .collect();
             let mean = if vals.is_empty() {
                 f64::NAN
             } else {

@@ -3,7 +3,9 @@
 //! survive (§VI-A). Reported latency: detection until the *last* failed
 //! task restored its pre-failure progress (synchronization-gated).
 
-use super::{completion_latency, fig6_grid, grid_label, run_scenario, schedule, Strategy};
+use super::{
+    completion_latency, fig6_grid, grid_label, kill_set_trace, run_scenario, schedule, Strategy,
+};
 use crate::runner::RunCtx;
 use crate::{Figure, Series};
 
@@ -36,8 +38,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             &scenario,
             &strategies[si],
             cfg.window,
-            scenario.worker_kill_set.clone(),
-            fail_at,
+            &kill_set_trace(fail_at, scenario.worker_kill_set.clone()),
             duration,
             cfg.seed,
         );

@@ -5,13 +5,18 @@
 use super::{run_fig6, Strategy};
 use crate::runner::RunCtx;
 use crate::{Figure, Series};
+use ppa_engine::FailureTrace;
 use ppa_sim::SimDuration;
 use ppa_workloads::Fig6Config;
 
 pub fn run(ctx: &RunCtx) -> Vec<Figure> {
     let quick = ctx.quick;
     let intervals: Vec<u64> = vec![1, 5, 15, 30];
-    let rates: Vec<usize> = if quick { vec![300, 600] } else { vec![1000, 2000] };
+    let rates: Vec<usize> = if quick {
+        vec![300, 600]
+    } else {
+        vec![1000, 2000]
+    };
     let duration = if quick { 60 } else { 120 };
 
     // One leaf job per (rate, interval): a failure-free run.
@@ -30,9 +35,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let report = run_fig6(
             ctx,
             &cfg,
-            &Strategy::Checkpoint { interval_secs: interval },
-            vec![],
-            0,
+            &Strategy::Checkpoint {
+                interval_secs: interval,
+            },
+            &FailureTrace::new(),
             duration,
         );
         // The paper's metric is per *processing* task; source tasks have

@@ -6,7 +6,7 @@
 //! metric that separates PPA-0.5 from PPA-0; Fig. 8 reports the
 //! synchronization-gated completion instead).
 
-use super::{run_fig6, schedule, Strategy};
+use super::{kill_set_trace, run_fig6, schedule, Strategy};
 use crate::runner::RunCtx;
 use crate::{latency_secs, Figure, Series};
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
@@ -41,7 +41,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let scenario = ppa_workloads::fig6_scenario(&cfgs[ri]);
         let n = scenario.graph().n_tasks();
         let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
-        StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks
+        StructureAwarePlanner::default()
+            .plan(&cx, n / 2)
+            .expect("SA plan")
+            .tasks
     });
 
     // Leaf phase 2 — one run per (rate, interval, share).
@@ -69,16 +72,16 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let report = run_fig6(
             ctx,
             cfg,
-            &Strategy::Ppa { plan: plan.clone(), interval_secs: interval },
-            scenario.worker_kill_set.clone(),
-            fail_at,
+            &Strategy::Ppa {
+                plan: plan.clone(),
+                interval_secs: interval,
+            },
+            &kill_set_trace(fail_at, scenario.worker_kill_set.clone()),
             duration,
         );
         let mean = latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t)));
         let active = (share == Share::Half).then(|| {
-            latency_secs(
-                report.mean_latency_of(|t| !graph.is_source_task(t) && plan.contains(t)),
-            )
+            latency_secs(report.mean_latency_of(|t| !graph.is_source_task(t) && plan.contains(t)))
         });
         (mean, active)
     });
@@ -102,7 +105,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             let (half, half_active) = outcomes[base + 1];
             let (zero, _) = outcomes[base + 2];
             s_full.push(x.clone(), full);
-            s_half_active.push(x.clone(), half_active.expect("Half yields the active subset"));
+            s_half_active.push(
+                x.clone(),
+                half_active.expect("Half yields the active subset"),
+            );
             s_half.push(x.clone(), half);
             s_zero.push(x, zero);
         }

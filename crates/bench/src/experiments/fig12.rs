@@ -83,14 +83,24 @@ impl AccuracyHarness {
             &scenario,
             // A golden run has no failures; FtMode::None via an empty plan
             // would still checkpoint, so use a plain no-failure run.
-            &Strategy::Checkpoint { interval_secs: 10_000 },
+            &Strategy::Checkpoint {
+                interval_secs: 10_000,
+            },
             SimDuration::from_secs(30),
-            vec![],
-            0,
+            &ppa_engine::FailureTrace::new(),
             duration,
             seed,
         );
-        AccuracyHarness { kind, scenario, golden, fail_at, duration, from_batch, to_batch, seed }
+        AccuracyHarness {
+            kind,
+            scenario,
+            golden,
+            fail_at,
+            duration,
+            from_batch,
+            to_batch,
+            seed,
+        }
     }
 
     /// Planning context over the harness's topology.
@@ -134,9 +144,7 @@ impl AccuracyHarness {
             SimDuration::from_secs(self.duration),
         );
         match self.kind {
-            QueryKind::Q1 => {
-                topk_accuracy(&self.golden, &report, self.from_batch, self.to_batch)
-            }
+            QueryKind::Q1 => topk_accuracy(&self.golden, &report, self.from_batch, self.to_batch),
             QueryKind::Q2 => {
                 incident_accuracy(&self.golden, &report, self.from_batch, self.to_batch)
             }
@@ -160,8 +168,9 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
     let quick = ctx.quick;
 
     // Leaf phase 1 — harnesses (each includes a golden run).
-    let harnesses: Vec<AccuracyHarness> =
-        ctx.map(KINDS.to_vec(), |(kind, _)| AccuracyHarness::new(ctx, kind, quick));
+    let harnesses: Vec<AccuracyHarness> = ctx.map(KINDS.to_vec(), |(kind, _)| {
+        AccuracyHarness::new(ctx, kind, quick)
+    });
 
     // Leaf phase 2 — one job per (query, ratio, objective): plan, metric
     // value, and the measured accuracy under the worst-case failure.
@@ -179,7 +188,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let harness = &harnesses[ki];
         let cx = harness.context(objectives[oi]);
         let budget = harness.budget(rs[ri]);
-        let plan = StructureAwarePlanner::default().plan(&cx, budget).expect("SA plan").tasks;
+        let plan = StructureAwarePlanner::default()
+            .plan(&cx, budget)
+            .expect("SA plan")
+            .tasks;
         let metric = match objectives[oi] {
             Objective::OutputFidelity => cx.of_plan(&plan),
             Objective::InternalCompleteness => cx.ic_plan(&plan),

@@ -23,8 +23,9 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
     let kinds = [(QueryKind::Q1, "Q1 top-k"), (QueryKind::Q2, "Q2 incidents")];
 
     // Leaf phase 1 — harnesses (each includes a golden run).
-    let harnesses: Vec<AccuracyHarness> =
-        ctx.map(kinds.to_vec(), |(kind, _)| AccuracyHarness::new(ctx, kind, quick));
+    let harnesses: Vec<AccuracyHarness> = ctx.map(kinds.to_vec(), |(kind, _)| {
+        AccuracyHarness::new(ctx, kind, quick)
+    });
 
     // Leaf phase 2 — one job per (query, planner, ratio): plan + measure.
     let rs = ratios(quick);

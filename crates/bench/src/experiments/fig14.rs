@@ -43,8 +43,12 @@ fn corpus_means(
         let mut gr_vals = Vec::with_capacity(ratios.len());
         for &r in ratios {
             let budget = ((n_tasks as f64) * r).round() as usize;
-            let sa = StructureAwarePlanner::default().plan(&cx, budget).expect("SA never errors");
-            let gr = GreedyPlanner.plan(&cx, budget).expect("greedy never errors");
+            let sa = StructureAwarePlanner::default()
+                .plan(&cx, budget)
+                .expect("SA never errors");
+            let gr = GreedyPlanner
+                .plan(&cx, budget)
+                .expect("greedy never errors");
             sa_vals.push(cx.of_plan(&sa.tasks));
             gr_vals.push(cx.of_plan(&gr.tasks));
         }
@@ -111,7 +115,13 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             "fig14a",
             "Random topologies — workload skewness",
             vec![
-                ("zipf", RandomTopologySpec { skew: Skew::Zipf { s: 0.1 }, ..base_spec() }),
+                (
+                    "zipf",
+                    RandomTopologySpec {
+                        skew: Skew::Zipf { s: 0.1 },
+                        ..base_spec()
+                    },
+                ),
                 ("uniform", base_spec()),
             ],
             "Expected shape (paper): SA > Greedy everywhere; skewed workloads widen \
@@ -124,7 +134,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             vec![
                 (
                     "para:10~20",
-                    RandomTopologySpec { parallelism: (10, 20), ..base_spec() },
+                    RandomTopologySpec {
+                        parallelism: (10, 20),
+                        ..base_spec()
+                    },
                 ),
                 ("para:1~10", base_spec()),
             ],
@@ -138,7 +151,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
                 ("Structure", base_spec()),
                 (
                     "Full",
-                    RandomTopologySpec { style: TopologyStyle::Full, ..base_spec() },
+                    RandomTopologySpec {
+                        style: TopologyStyle::Full,
+                        ..base_spec()
+                    },
                 ),
             ],
             "Expected shape (paper): structured topologies reach higher OF than full \
@@ -153,7 +169,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
                 ("NoJoin", base_spec()),
                 (
                     "Join-50%",
-                    RandomTopologySpec { join_fraction: 0.5, ..base_spec() },
+                    RandomTopologySpec {
+                        join_fraction: 0.5,
+                        ..base_spec()
+                    },
                 ),
             ],
             "Expected shape (paper): joins lower OF at equal budget — losing one \

@@ -5,6 +5,7 @@
 //! [`RunCtx::map`]. Each point derives its randomness from its own seed,
 //! so results are identical for any worker count.
 
+pub mod corr_sweep;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;
@@ -16,7 +17,7 @@ pub mod tentative;
 
 use crate::runner::{RunCtx, RunLog};
 use ppa_core::TaskSet;
-use ppa_engine::{EngineConfig, FailureSpec, FtMode, RunReport, Simulation};
+use ppa_engine::{EngineConfig, FailureTrace, FtMode, RunReport, Simulation};
 use ppa_sim::{SimDuration, SimTime};
 use ppa_workloads::{Fig6Config, Scenario};
 
@@ -43,14 +44,20 @@ impl Strategy {
             Strategy::Active { sync_secs } => format!("Active-{sync_secs}s"),
             Strategy::Checkpoint { interval_secs } => format!("Checkpoint-{interval_secs}s"),
             Strategy::Storm => "Storm".to_string(),
-            Strategy::Ppa { plan, interval_secs } => {
+            Strategy::Ppa {
+                plan,
+                interval_secs,
+            } => {
                 format!("PPA-{}t-{}s", plan.len(), interval_secs)
             }
         }
     }
 
     fn config(&self, n_tasks: usize, window: SimDuration, seed: u64) -> EngineConfig {
-        let mut cfg = EngineConfig { seed, ..EngineConfig::default() };
+        let mut cfg = EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        };
         match self {
             Strategy::Active { sync_secs } => {
                 cfg.mode = FtMode::active(n_tasks);
@@ -61,9 +68,14 @@ impl Strategy {
             }
             Strategy::Storm => {
                 // Sources must retain at least the window for state rebuild.
-                cfg.mode = FtMode::SourceReplay { buffer: window + SimDuration::from_secs(5) };
+                cfg.mode = FtMode::SourceReplay {
+                    buffer: window + SimDuration::from_secs(5),
+                };
             }
-            Strategy::Ppa { plan, interval_secs } => {
+            Strategy::Ppa {
+                plan,
+                interval_secs,
+            } => {
                 cfg.mode = FtMode::ppa(plan.clone(), SimDuration::from_secs(*interval_secs));
             }
         }
@@ -71,14 +83,20 @@ impl Strategy {
     }
 }
 
-/// Runs the Fig. 6 scenario under a strategy with the given kill set,
-/// logging the run for the JSON reporter.
+/// The degenerate trace of the §VI-A experiments: every hand-picked kill
+/// set is one simultaneous failure event at `fail_at_secs` (an empty kill
+/// set is the empty trace — a failure-free run).
+pub fn kill_set_trace(fail_at_secs: u64, kill_nodes: Vec<usize>) -> FailureTrace {
+    FailureTrace::once(SimTime::from_secs(fail_at_secs), kill_nodes)
+}
+
+/// Runs the Fig. 6 scenario under a strategy, replaying `trace`, logging
+/// the run for the JSON reporter.
 pub fn run_fig6(
     ctx: &RunCtx,
     cfg: &Fig6Config,
     strategy: &Strategy,
-    kill_nodes: Vec<usize>,
-    fail_at_secs: u64,
+    trace: &FailureTrace,
     duration_secs: u64,
 ) -> RunReport {
     let scenario = ppa_workloads::fig6_scenario(cfg);
@@ -88,15 +106,16 @@ pub fn run_fig6(
         &scenario,
         strategy,
         cfg.window,
-        kill_nodes,
-        fail_at_secs,
+        trace,
         duration_secs,
         cfg.seed,
     )
 }
 
-/// Runs any scenario under a strategy with the given kill set, logging the
-/// run (labelled `label`) for the JSON reporter.
+/// Runs any scenario under a strategy, replaying a failure trace, logging
+/// the run (labelled `label`) for the JSON reporter. The logged failure
+/// instant is the trace's first event; the logged kill set is the union of
+/// all its events' nodes.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario(
     ctx: &RunCtx,
@@ -104,30 +123,25 @@ pub fn run_scenario(
     scenario: &Scenario,
     strategy: &Strategy,
     window: SimDuration,
-    kill_nodes: Vec<usize>,
-    fail_at_secs: u64,
+    trace: &FailureTrace,
     duration_secs: u64,
     seed: u64,
 ) -> RunReport {
     let n_tasks = scenario.graph().n_tasks();
     let config = strategy.config(n_tasks, window, seed);
-    let failures = if kill_nodes.is_empty() {
-        vec![]
-    } else {
-        vec![FailureSpec { at: SimTime::from_secs(fail_at_secs), nodes: kill_nodes.clone() }]
-    };
-    let report = Simulation::run(
+    let report = Simulation::run_trace(
         &scenario.query,
         scenario.placement.clone(),
         config,
-        failures,
+        trace,
         SimDuration::from_secs(duration_secs),
     );
+    let fail_at_secs = trace.first_at().map_or(0, |t| t.as_micros() / 1_000_000);
     ctx.log_run(RunLog::from_report(
         label,
         strategy.label(),
         fail_at_secs,
-        kill_nodes,
+        trace.killed_nodes(),
         &report,
     ));
     report
@@ -178,7 +192,11 @@ pub fn fig6_grid(quick: bool) -> Vec<Fig6Config> {
 
 /// Grid point label matching the paper's x-axis ("win:10s, rate:1000tp/s").
 pub fn grid_label(cfg: &Fig6Config) -> String {
-    format!("win:{}s rate:{}tp/s", cfg.window.as_micros() / 1_000_000, cfg.rate)
+    format!(
+        "win:{}s rate:{}tp/s",
+        cfg.window.as_micros() / 1_000_000,
+        cfg.rate
+    )
 }
 
 /// Failure/measurement schedule: the failure fires only after the window is
@@ -197,18 +215,34 @@ mod tests {
 
     #[test]
     fn ppa_label_distinguishes_intervals_and_shares() {
-        let a = Strategy::Ppa { plan: TaskSet::full(8), interval_secs: 5 };
-        let b = Strategy::Ppa { plan: TaskSet::full(8), interval_secs: 30 };
-        let c = Strategy::Ppa { plan: TaskSet::empty(8), interval_secs: 5 };
+        let a = Strategy::Ppa {
+            plan: TaskSet::full(8),
+            interval_secs: 5,
+        };
+        let b = Strategy::Ppa {
+            plan: TaskSet::full(8),
+            interval_secs: 30,
+        };
+        let c = Strategy::Ppa {
+            plan: TaskSet::empty(8),
+            interval_secs: 5,
+        };
         assert_eq!(a.label(), "PPA-8t-5s");
         assert_ne!(a.label(), b.label(), "intervals must be distinguishable");
-        assert_ne!(a.label(), c.label(), "active shares must be distinguishable");
+        assert_ne!(
+            a.label(),
+            c.label(),
+            "active shares must be distinguishable"
+        );
     }
 
     #[test]
     fn other_labels_are_stable() {
         assert_eq!(Strategy::Active { sync_secs: 5 }.label(), "Active-5s");
-        assert_eq!(Strategy::Checkpoint { interval_secs: 15 }.label(), "Checkpoint-15s");
+        assert_eq!(
+            Strategy::Checkpoint { interval_secs: 15 }.label(),
+            "Checkpoint-15s"
+        );
         assert_eq!(Strategy::Storm.label(), "Storm");
     }
 }

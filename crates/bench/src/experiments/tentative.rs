@@ -6,7 +6,7 @@
 //! detection to (a) the first tentative sink output and (b) the completion
 //! of the last passive recovery.
 
-use super::{run_fig6, schedule, Strategy};
+use super::{kill_set_trace, run_fig6, schedule, Strategy};
 use crate::runner::RunCtx;
 use crate::{Figure, Series};
 use ppa_core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
@@ -30,7 +30,10 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
             let scenario = ppa_workloads::fig6_scenario(&cfg);
             let n = scenario.graph().n_tasks();
             let cx = PlanContext::new(scenario.query.topology()).expect("fig6 plans");
-            StructureAwarePlanner::default().plan(&cx, n / 2).expect("SA plan").tasks
+            StructureAwarePlanner::default()
+                .plan(&cx, n / 2)
+                .expect("SA plan")
+                .tasks
         })
         .pop()
         .expect("one plan");
@@ -41,9 +44,11 @@ pub fn run(ctx: &RunCtx) -> Vec<Figure> {
         let report = run_fig6(
             ctx,
             &cfg,
-            &Strategy::Ppa { plan: plan.clone(), interval_secs: interval },
-            scenario.worker_kill_set.clone(),
-            fail_at,
+            &Strategy::Ppa {
+                plan: plan.clone(),
+                interval_secs: interval,
+            },
+            &kill_set_trace(fail_at, scenario.worker_kill_set.clone()),
             duration,
         );
         let detected = report

@@ -13,7 +13,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: impl Into<String>, y: f64) {
@@ -86,11 +89,7 @@ impl Figure {
         for tick in &ticks {
             let mut row = format!("| {tick} ");
             for s in &self.series {
-                let v = s
-                    .points
-                    .iter()
-                    .find(|(x, _)| x == tick)
-                    .map(|(_, y)| *y);
+                let v = s.points.iter().find(|(x, _)| x == tick).map(|(_, y)| *y);
                 match v {
                     Some(y) if y.is_finite() => row.push_str(&format!("| {y:.3} ")),
                     _ => row.push_str("| — "),
@@ -142,7 +141,10 @@ impl Figure {
                         .collect(),
                 ),
             ),
-            ("notes", Json::Arr(self.notes.iter().map(Json::str).collect())),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
         ])
     }
 }
@@ -166,7 +168,10 @@ mod tests {
         assert!(md.contains("### figX — Test"));
         assert!(md.contains("| x | A | B |"));
         assert!(md.contains("| p1 | 1.000 | 3.000 |"));
-        assert!(md.contains("| p2 | 2.500 | — |"), "missing point renders as dash:\n{md}");
+        assert!(
+            md.contains("| p2 | 2.500 | — |"),
+            "missing point renders as dash:\n{md}"
+        );
         assert!(md.contains("> a note"));
     }
 
@@ -190,7 +195,10 @@ mod tests {
         let json = f.to_json().to_pretty();
         assert!(json.contains("\"id\": \"f\""));
         assert!(json.contains("\"y\": 1.5"));
-        assert!(json.contains("\"y\": null"), "NaN serializes as null:\n{json}");
+        assert!(
+            json.contains("\"y\": null"),
+            "NaN serializes as null:\n{json}"
+        );
         assert!(!json.contains("NaN"));
     }
 

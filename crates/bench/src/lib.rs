@@ -10,6 +10,7 @@
 //! cargo run --release -p ppa-bench --bin reproduce              # full scale
 //! cargo run --release -p ppa-bench --bin reproduce -- --quick   # CI scale
 //! cargo run --release -p ppa-bench --bin reproduce -- --jobs 4 --json out.json fig08 fig13
+//! cargo run --release -p ppa-bench --bin reproduce -- --list    # known experiment ids
 //! ```
 //!
 //! ## Architecture
@@ -36,8 +37,8 @@ pub mod stopwatch;
 
 pub use figure::{Figure, Series};
 pub use runner::{
-    render_markdown, run_experiments, ExperimentResult, RecoveryRecord, RunCtx, RunLog,
-    RunOptions, RunSummary,
+    render_markdown, run_experiments, ExperimentResult, RecoveryRecord, RunCtx, RunLog, RunOptions,
+    RunSummary,
 };
 
 use ppa_sim::SimDuration;
@@ -118,6 +119,12 @@ pub fn registry() -> Vec<Experiment> {
             section: "§VII",
             run: experiments::tentative::run,
         },
+        Experiment {
+            id: "corr_sweep",
+            description: "Generated correlated-failure sweep: burst size × correlation × strategy",
+            section: "beyond §VI",
+            run: experiments::corr_sweep::run,
+        },
     ]
 }
 
@@ -139,6 +146,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"tentative"));
+        assert_eq!(ids.last(), Some(&"corr_sweep"));
     }
 }

@@ -40,7 +40,11 @@ impl Gate {
     /// A gate admitting `permits` concurrent leaves (minimum 1).
     pub fn new(permits: usize) -> Self {
         let capacity = permits.max(1);
-        Gate { capacity, available: Mutex::new(capacity), cv: Condvar::new() }
+        Gate {
+            capacity,
+            available: Mutex::new(capacity),
+            cv: Condvar::new(),
+        }
     }
 
     /// The configured permit count.
@@ -88,8 +92,10 @@ impl Gate {
         // across every concurrent `map` call in the process) bounds how many
         // are actually running.
         let workers = self.capacity.min(n);
-        let slots: Vec<Mutex<Option<T>>> =
-            items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
         let cursor = AtomicUsize::new(0);
         let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
 
@@ -126,7 +132,9 @@ impl Gate {
                 }
             }
         });
-        out.into_iter().map(|slot| slot.expect("every index produced")).collect()
+        out.into_iter()
+            .map(|slot| slot.expect("every index produced"))
+            .collect()
     }
 }
 
@@ -180,7 +188,11 @@ mod tests {
                 });
             }
         });
-        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
@@ -200,7 +212,9 @@ mod tests {
             // Pure function of the item — the determinism contract.
             let mut acc = i;
             for _ in 0..50 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         };

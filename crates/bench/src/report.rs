@@ -20,7 +20,10 @@ pub fn to_json(summary: &RunSummary) -> Json {
                  Stream Processing Engines, ICDE 2016",
             ),
         ),
-        ("mode", Json::str(if summary.quick { "quick" } else { "full" })),
+        (
+            "mode",
+            Json::str(if summary.quick { "quick" } else { "full" }),
+        ),
         ("jobs", Json::Int(summary.jobs as i64)),
         ("total_wall_s", Json::Num(summary.total_wall.as_secs_f64())),
         (
@@ -39,7 +42,10 @@ pub fn to_json(summary: &RunSummary) -> Json {
                                 "figures",
                                 Json::Arr(r.figures.iter().map(|f| f.to_json()).collect()),
                             ),
-                            ("runs", Json::Arr(r.runs.iter().map(|l| l.to_json()).collect())),
+                            (
+                                "runs",
+                                Json::Arr(r.runs.iter().map(|l| l.to_json()).collect()),
+                            ),
                         ])
                     })
                     .collect(),
@@ -48,15 +54,22 @@ pub fn to_json(summary: &RunSummary) -> Json {
     ])
 }
 
-/// Serializes and writes the report to `path`.
+/// Serializes and writes the report to `path`. The error carries the
+/// target path, so callers surfacing it (or unwrapping it in scripts) name
+/// the file that could not be written, not just the OS error.
 pub fn write_json(summary: &RunSummary, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, to_json(summary).to_pretty())
+    std::fs::write(path, to_json(summary).to_pretty()).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("writing report to {}: {e}", path.display()),
+        )
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{ExperimentResult, RunLog, RecoveryRecord};
+    use crate::runner::{ExperimentResult, RecoveryRecord, RunLog};
     use crate::{Figure, Series};
     use std::time::Duration;
 
@@ -114,6 +127,16 @@ mod tests {
         assert!(doc.contains("\"latency_s\": null"));
         assert!(doc.contains("\"y\": null"));
         assert!(!doc.contains("NaN"));
+    }
+
+    #[test]
+    fn write_json_error_names_the_path() {
+        let path = std::path::Path::new("/nonexistent-dir-ppa/out.json");
+        let err = write_json(&tiny_summary(), path).unwrap_err();
+        assert!(
+            err.to_string().contains("/nonexistent-dir-ppa/out.json"),
+            "error must name the target path: {err}"
+        );
     }
 
     #[test]

@@ -7,16 +7,15 @@
 //! every leaf job owns its seed, so stdout is byte-identical for any job
 //! count.
 
-use crate::pool::Gate;
 use crate::json::Json;
+use crate::pool::Gate;
 use crate::{registry, Experiment, Figure};
 use ppa_engine::RunReport;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Options for one harness invocation.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// CI scale instead of paper scale.
     pub quick: bool,
@@ -28,7 +27,6 @@ pub struct RunOptions {
     /// Emit per-experiment progress and timings on stderr.
     pub progress: bool,
 }
-
 
 impl RunOptions {
     /// The effective worker count: `jobs`, or available parallelism when 0.
@@ -96,7 +94,12 @@ impl RunLog {
 
     /// Sort key making log order independent of worker scheduling.
     fn sort_key(&self) -> (String, String, u64, Vec<usize>) {
-        (self.scenario.clone(), self.strategy.clone(), self.fail_at_s, self.kill_nodes.clone())
+        (
+            self.scenario.clone(),
+            self.strategy.clone(),
+            self.fail_at_s,
+            self.kill_nodes.clone(),
+        )
     }
 
     pub fn to_json(&self) -> Json {
@@ -106,7 +109,12 @@ impl RunLog {
             ("fail_at_s", Json::Int(self.fail_at_s as i64)),
             (
                 "kill_nodes",
-                Json::Arr(self.kill_nodes.iter().map(|&n| Json::Int(n as i64)).collect()),
+                Json::Arr(
+                    self.kill_nodes
+                        .iter()
+                        .map(|&n| Json::Int(n as i64))
+                        .collect(),
+                ),
             ),
             ("events", Json::Int(self.events as i64)),
             (
@@ -140,7 +148,11 @@ pub struct RunCtx {
 
 impl RunCtx {
     pub fn new(quick: bool, gate: Arc<Gate>) -> Self {
-        RunCtx { quick, gate, logs: Mutex::new(Vec::new()) }
+        RunCtx {
+            quick,
+            gate,
+            logs: Mutex::new(Vec::new()),
+        }
     }
 
     /// A context with a private single-permit gate — serial execution, for
@@ -214,7 +226,10 @@ pub fn select(only: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
     if only.is_empty() || only.iter().any(|w| w == "all") {
         return Ok(all);
     }
-    Ok(all.into_iter().filter(|e| only.iter().any(|w| w == e.id)).collect())
+    Ok(all
+        .into_iter()
+        .filter(|e| only.iter().any(|w| w == e.id))
+        .collect())
 }
 
 /// Runs the selected experiments on the bounded pool and returns results in
@@ -261,7 +276,12 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
         }
     });
 
-    RunSummary { quick: opts.quick, jobs, results, total_wall: total_start.elapsed() }
+    RunSummary {
+        quick: opts.quick,
+        jobs,
+        results,
+        total_wall: total_start.elapsed(),
+    }
 }
 
 /// Renders the whole run as the markdown report printed on stdout.
@@ -280,7 +300,10 @@ pub fn render_markdown(summary: &RunSummary) -> String {
          Parallel Stream Processing Engines\", ICDE 2016.\n\n",
     );
     for result in &summary.results {
-        out.push_str(&format!("## {} ({})\n\n", result.description, result.section));
+        out.push_str(&format!(
+            "## {} ({})\n\n",
+            result.description, result.section
+        ));
         for fig in &result.figures {
             out.push_str(&fig.to_markdown());
         }
@@ -298,8 +321,14 @@ mod tests {
         assert_eq!(select(&["all".into()]).unwrap().len(), registry().len());
         let picked = select(&["fig13".into(), "fig08".into()]).unwrap();
         // Registry order, not request order.
-        assert_eq!(picked.iter().map(|e| e.id).collect::<Vec<_>>(), vec!["fig08", "fig13"]);
-        assert_eq!(select(&["nope".into()]).unwrap_err(), vec!["nope".to_string()]);
+        assert_eq!(
+            picked.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec!["fig08", "fig13"]
+        );
+        assert_eq!(
+            select(&["nope".into()]).unwrap_err(),
+            vec!["nope".to_string()]
+        );
         // A typo next to "all" is still an error, not a silent run-everything.
         assert_eq!(
             select(&["all".into(), "fgi08".into()]).unwrap_err(),
@@ -322,9 +351,14 @@ mod tests {
         ctx.log_run(mk("a", "Storm"));
         ctx.log_run(mk("a", "Active-5s"));
         let logs = ctx.take_logs();
-        let keys: Vec<_> =
-            logs.iter().map(|l| (l.scenario.as_str(), l.strategy.as_str())).collect();
-        assert_eq!(keys, vec![("a", "Active-5s"), ("a", "Storm"), ("b", "Storm")]);
+        let keys: Vec<_> = logs
+            .iter()
+            .map(|l| (l.scenario.as_str(), l.strategy.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("a", "Active-5s"), ("a", "Storm"), ("b", "Storm")]
+        );
         assert!(ctx.take_logs().is_empty(), "take drains");
     }
 }

@@ -18,7 +18,10 @@ pub struct Group {
 
 impl Group {
     pub fn new(name: impl Into<String>) -> Self {
-        Group { name: name.into(), samples: 10 }
+        Group {
+            name: name.into(),
+            samples: 10,
+        }
     }
 
     /// Samples per case (default 10, minimum 1).

@@ -6,17 +6,35 @@
 use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 
 fn opts(jobs: usize) -> RunOptions {
-    RunOptions { quick: true, jobs, only: Vec::new(), progress: false }
+    RunOptions {
+        quick: true,
+        jobs,
+        only: Vec::new(),
+        progress: false,
+    }
 }
 
 #[test]
 fn every_registry_entry_runs_quick_and_yields_figures() {
     let summary = run_experiments(&opts(4));
-    assert_eq!(summary.results.len(), registry().len(), "every experiment ran");
+    assert_eq!(
+        summary.results.len(),
+        registry().len(),
+        "every experiment ran"
+    );
     for result in &summary.results {
-        assert!(!result.figures.is_empty(), "{} returned no figures", result.id);
+        assert!(
+            !result.figures.is_empty(),
+            "{} returned no figures",
+            result.id
+        );
         for fig in &result.figures {
-            assert!(!fig.series.is_empty(), "{}: figure {} has no series", result.id, fig.id);
+            assert!(
+                !fig.series.is_empty(),
+                "{}: figure {} has no series",
+                result.id,
+                fig.id
+            );
             for series in &fig.series {
                 assert!(
                     !series.points.is_empty(),
@@ -29,16 +47,35 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         }
     }
     // The recovery experiments must also have logged their runs.
-    for id in ["fig07", "fig08", "fig09", "fig10", "tentative"] {
+    for id in [
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "tentative",
+        "corr_sweep",
+    ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
-        assert!(!result.runs.is_empty(), "{id} logged no runs for the JSON reporter");
+        assert!(
+            !result.runs.is_empty(),
+            "{id} logged no runs for the JSON reporter"
+        );
     }
 }
 
 #[test]
 fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
-    let only: Vec<String> = vec!["fig07".into(), "fig10".into(), "fig12".into(), "fig14".into()];
-    let serial = run_experiments(&RunOptions { only: only.clone(), ..opts(1) });
+    let only: Vec<String> = vec![
+        "fig07".into(),
+        "fig10".into(),
+        "fig12".into(),
+        "fig14".into(),
+        "corr_sweep".into(),
+    ];
+    let serial = run_experiments(&RunOptions {
+        only: only.clone(),
+        ..opts(1)
+    });
     let parallel = run_experiments(&RunOptions { only, ..opts(4) });
 
     // The stdout report is byte-identical.
@@ -54,6 +91,10 @@ fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
         assert_eq!(figs_a, figs_b, "{}: figures differ across job counts", a.id);
         let runs_a: Vec<String> = a.runs.iter().map(|l| l.to_json().to_pretty()).collect();
         let runs_b: Vec<String> = b.runs.iter().map(|l| l.to_json().to_pretty()).collect();
-        assert_eq!(runs_a, runs_b, "{}: run logs differ across job counts", a.id);
+        assert_eq!(
+            runs_a, runs_b,
+            "{}: run logs differ across job counts",
+            a.id
+        );
     }
 }

@@ -71,13 +71,22 @@ impl fmt::Display for CoreError {
                 write!(f, "operator {id} must have at least one task")
             }
             CoreError::InvalidRate { operator, value } => {
-                write!(f, "operator {operator} has invalid rate/selectivity {value}")
+                write!(
+                    f,
+                    "operator {operator} has invalid rate/selectivity {value}"
+                )
             }
-            CoreError::SourceRate { operator, is_source } => {
+            CoreError::SourceRate {
+                operator,
+                is_source,
+            } => {
                 if *is_source {
                     write!(f, "source operator {operator} is missing a source rate")
                 } else {
-                    write!(f, "non-source operator {operator} must not set a source rate")
+                    write!(
+                        f,
+                        "non-source operator {operator} must not set a source rate"
+                    )
                 }
             }
             CoreError::McTreeExplosion { limit } => {

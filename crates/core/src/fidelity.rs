@@ -19,9 +19,9 @@
 //! independent-input — precisely the "fundamental difference" the paper
 //! calls out: IC ignores the correlation of a task's input streams.
 
-use crate::model::{InputSemantics, TaskGraph, TaskSet};
 #[cfg(test)]
 use crate::model::TaskIndex;
+use crate::model::{InputSemantics, TaskGraph, TaskSet};
 use crate::rates::RateModel;
 
 /// Output-loss propagation and OF/IC evaluation over one task graph.
@@ -157,9 +157,7 @@ impl<'g> FidelityModel<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        OperatorId, OperatorSpec, Partitioning, TaskWeights, TopologyBuilder,
-    };
+    use crate::model::{OperatorId, OperatorSpec, Partitioning, TaskWeights, TopologyBuilder};
 
     /// The exact Fig. 2 example: O1 {t11:1, t12:2 tuples/s} and
     /// O2 {t21:3, t22:2} feed the single join task t31; t22 fails.
@@ -192,7 +190,11 @@ mod tests {
         let failed = TaskSet::from_tasks(g.n_tasks(), [t22]);
         let loss = m.output_loss(&failed);
         let t31 = g.task_index(OperatorId(2), 0);
-        assert!((loss[t31.0] - 0.4).abs() < 1e-12, "ILout31 = 2/5, got {}", loss[t31.0]);
+        assert!(
+            (loss[t31.0] - 0.4).abs() < 1e-12,
+            "ILout31 = 2/5, got {}",
+            loss[t31.0]
+        );
         assert!((m.output_fidelity(&failed) - 0.6).abs() < 1e-12);
     }
 
@@ -204,7 +206,11 @@ mod tests {
         let failed = TaskSet::from_tasks(g.n_tasks(), [t22]);
         let loss = m.output_loss(&failed);
         let t31 = g.task_index(OperatorId(2), 0);
-        assert!((loss[t31.0] - 0.25).abs() < 1e-12, "ILout31 = 1/4, got {}", loss[t31.0]);
+        assert!(
+            (loss[t31.0] - 0.25).abs() < 1e-12,
+            "ILout31 = 1/4, got {}",
+            loss[t31.0]
+        );
         assert!((m.output_fidelity(&failed) - 0.75).abs() < 1e-12);
     }
 
@@ -276,7 +282,10 @@ mod tests {
         // join's Cartesian input is empty.
         let failed = TaskSet::from_tasks(
             g.n_tasks(),
-            [g.task_index(OperatorId(1), 0), g.task_index(OperatorId(1), 1)],
+            [
+                g.task_index(OperatorId(1), 0),
+                g.task_index(OperatorId(1), 1),
+            ],
         );
         assert_eq!(m.output_fidelity(&failed), 0.0);
         // The independent counterpart would retain the O1 share.
@@ -292,7 +301,10 @@ mod tests {
         for t in 0..g.n_tasks() {
             failed.insert(TaskIndex(t));
             let next = m.output_fidelity(&failed);
-            assert!(next <= prev + 1e-12, "fidelity must not increase with more failures");
+            assert!(
+                next <= prev + 1e-12,
+                "fidelity must not increase with more failures"
+            );
             prev = next;
         }
     }

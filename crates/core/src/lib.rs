@@ -52,8 +52,8 @@ pub use model::{
     Topology, TopologyBuilder,
 };
 pub use planner::{
-    adapt_plan, AdaptivePlanner, BruteForcePlanner, DpPlanner, GreedyPlanner, Plan,
-    PlanAdaptation, PlanContext, Planner, StructureAwarePlanner,
+    adapt_plan, AdaptivePlanner, BruteForcePlanner, DpPlanner, GreedyPlanner, Plan, PlanAdaptation,
+    PlanContext, Planner, StructureAwarePlanner,
 };
 pub use random::{RandomTopologySpec, Skew, TopologyStyle};
 pub use rates::RateModel;

@@ -17,9 +17,9 @@
 //! structure-aware planner, exactly as the paper does for Fig. 14.
 
 use crate::error::{CoreError, Result};
-use crate::model::{InputSemantics, TaskGraph, TaskSet};
 #[cfg(test)]
 use crate::model::TaskIndex;
+use crate::model::{InputSemantics, TaskGraph, TaskSet};
 use std::collections::HashSet;
 
 /// Guard rails for the exponential enumeration.
@@ -98,7 +98,9 @@ pub fn enumerate_mc_trees_with(
                         tree.insert(t);
                         partials.push(tree);
                         if partials.len() > limits.max_trees {
-                            return Err(CoreError::McTreeExplosion { limit: limits.max_trees });
+                            return Err(CoreError::McTreeExplosion {
+                                limit: limits.max_trees,
+                            });
                         }
                     }
                 }
@@ -112,7 +114,9 @@ pub fn enumerate_mc_trees_with(
     for t in graph.sink_tasks() {
         trees.extend(memo[t.0].iter().cloned());
         if trees.len() > limits.max_trees {
-            return Err(CoreError::McTreeExplosion { limit: limits.max_trees });
+            return Err(CoreError::McTreeExplosion {
+                limit: limits.max_trees,
+            });
         }
     }
     let mut trees = dedup(trees);
@@ -314,7 +318,10 @@ mod tests {
         let true_min = trees.iter().map(TaskSet::len).min().unwrap();
         assert_eq!(true_min, 3);
         let bound = min_tree_size(&g);
-        assert!(bound <= true_min, "bound {bound} must not exceed {true_min}");
+        assert!(
+            bound <= true_min,
+            "bound {bound} must not exceed {true_min}"
+        );
         assert!(bound >= 2, "join + one branch at least");
     }
 

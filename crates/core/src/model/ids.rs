@@ -3,9 +3,7 @@
 use std::fmt;
 
 /// Index of an operator within a [`super::Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct OperatorId(pub usize);
 
 impl fmt::Display for OperatorId {
@@ -15,9 +13,7 @@ impl fmt::Display for OperatorId {
 }
 
 /// Index of an operator-level edge within a [`super::Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EdgeId(pub usize);
 
 /// Dense global index of a task within a [`super::TaskGraph`].
@@ -25,9 +21,7 @@ pub struct EdgeId(pub usize);
 /// Tasks are numbered operator by operator: operator `Oi`'s tasks occupy a
 /// contiguous range, so the pair *(operator, local index)* and the global
 /// index are freely interconvertible via [`super::TaskGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TaskIndex(pub usize);
 
 impl fmt::Display for TaskIndex {

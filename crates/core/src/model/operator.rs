@@ -1,7 +1,6 @@
 //! Operator specifications: parallelism, input semantics, selectivity and
 //! per-task workload weights.
 
-
 /// Whether an operator computes over the *join* of its input streams or over
 /// their *union* (§III-A1).
 ///

@@ -290,10 +290,16 @@ mod tests {
         let s0 = g.task_index(OperatorId(0), 0);
         assert_eq!(
             g.outputs(s0)[0].targets,
-            vec![g.task_index(OperatorId(1), 0), g.task_index(OperatorId(1), 1)]
+            vec![
+                g.task_index(OperatorId(1), 0),
+                g.task_index(OperatorId(1), 1)
+            ]
         );
         let m3 = g.task_index(OperatorId(1), 3);
-        assert_eq!(g.inputs(m3)[0].substreams, vec![g.task_index(OperatorId(0), 1)]);
+        assert_eq!(
+            g.inputs(m3)[0].substreams,
+            vec![g.task_index(OperatorId(0), 1)]
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct TaskSet {
 impl TaskSet {
     /// Empty set over `capacity` tasks.
     pub fn empty(capacity: usize) -> Self {
-        TaskSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        TaskSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Set containing every task.
@@ -43,7 +46,11 @@ impl TaskSet {
     }
 
     pub fn insert(&mut self, t: TaskIndex) {
-        debug_assert!(t.0 < self.capacity, "task {t} out of capacity {}", self.capacity);
+        debug_assert!(
+            t.0 < self.capacity,
+            "task {t} out of capacity {}",
+            self.capacity
+        );
         self.words[t.0 / 64] |= 1u64 << (t.0 % 64);
     }
 
@@ -84,7 +91,12 @@ impl TaskSet {
     pub fn intersection(&self, other: &TaskSet) -> TaskSet {
         debug_assert_eq!(self.capacity, other.capacity);
         TaskSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             capacity: self.capacity,
         }
     }
@@ -93,7 +105,12 @@ impl TaskSet {
     pub fn difference(&self, other: &TaskSet) -> TaskSet {
         debug_assert_eq!(self.capacity, other.capacity);
         TaskSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
             capacity: self.capacity,
         }
     }
@@ -108,13 +125,19 @@ impl TaskSet {
                 *last &= u64::MAX >> excess;
             }
         }
-        TaskSet { words, capacity: self.capacity }
+        TaskSet {
+            words,
+            capacity: self.capacity,
+        }
     }
 
     /// Whether every task of `self` is in `other`.
     pub fn is_subset_of(&self, other: &TaskSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Number of tasks in `self` that are *not* in `other` (`|self \ other|`).

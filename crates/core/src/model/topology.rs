@@ -96,12 +96,18 @@ impl Topology {
 
     /// Upstream neighbour operators of `op`.
     pub fn upstream(&self, op: OperatorId) -> Vec<OperatorId> {
-        self.inputs[op.0].iter().map(|&e| self.edges[e.0].from).collect()
+        self.inputs[op.0]
+            .iter()
+            .map(|&e| self.edges[e.0].from)
+            .collect()
     }
 
     /// Downstream neighbour operators of `op`.
     pub fn downstream(&self, op: OperatorId) -> Vec<OperatorId> {
-        self.outputs[op.0].iter().map(|&e| self.edges[e.0].to).collect()
+        self.outputs[op.0]
+            .iter()
+            .map(|&e| self.edges[e.0].to)
+            .collect()
     }
 }
 
@@ -142,7 +148,10 @@ impl TopologyBuilder {
             return Err(CoreError::SelfEdge(from.0));
         }
         if self.edges.iter().any(|e| e.from == from && e.to == to) {
-            return Err(CoreError::DuplicateEdge { from: from.0, to: to.0 });
+            return Err(CoreError::DuplicateEdge {
+                from: from.0,
+                to: to.0,
+            });
         }
         let n1 = self.operators[from.0].parallelism;
         let n2 = self.operators[to.0].parallelism;
@@ -155,7 +164,11 @@ impl TopologyBuilder {
                 downstream: n2,
             });
         }
-        self.edges.push(Edge { from, to, partitioning });
+        self.edges.push(Edge {
+            from,
+            to,
+            partitioning,
+        });
         Ok(EdgeId(self.edges.len() - 1))
     }
 
@@ -170,11 +183,17 @@ impl TopologyBuilder {
                 return Err(CoreError::ZeroParallelism(i));
             }
             if !op.selectivity.is_finite() || op.selectivity <= 0.0 {
-                return Err(CoreError::InvalidRate { operator: i, value: op.selectivity });
+                return Err(CoreError::InvalidRate {
+                    operator: i,
+                    value: op.selectivity,
+                });
             }
             if let Some(rate) = op.source_rate {
                 if !rate.is_finite() || rate <= 0.0 {
-                    return Err(CoreError::InvalidRate { operator: i, value: rate });
+                    return Err(CoreError::InvalidRate {
+                        operator: i,
+                        value: rate,
+                    });
                 }
             }
             if !op.weights.validate(op.parallelism) {
@@ -193,7 +212,10 @@ impl TopologyBuilder {
         for (i, op) in self.operators.iter().enumerate() {
             let is_source = inputs[i].is_empty();
             if is_source != op.is_source() {
-                return Err(CoreError::SourceRate { operator: i, is_source });
+                return Err(CoreError::SourceRate {
+                    operator: i,
+                    is_source,
+                });
             }
         }
         if !inputs.iter().any(|v| v.is_empty()) {
@@ -205,8 +227,7 @@ impl TopologyBuilder {
 
         // Kahn's algorithm: topological order + cycle detection.
         let mut indegree: Vec<usize> = inputs.iter().map(Vec::len).collect();
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut topo_order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -263,9 +284,18 @@ mod tests {
         assert_eq!(t.sinks(), vec![OperatorId(3)]);
         assert_eq!(t.topo_order()[0], OperatorId(0));
         assert_eq!(t.topo_order()[3], OperatorId(3));
-        assert_eq!(t.operator(OperatorId(3)).semantics, InputSemantics::Correlated);
-        assert_eq!(t.upstream(OperatorId(3)), vec![OperatorId(1), OperatorId(2)]);
-        assert_eq!(t.downstream(OperatorId(0)), vec![OperatorId(1), OperatorId(2)]);
+        assert_eq!(
+            t.operator(OperatorId(3)).semantics,
+            InputSemantics::Correlated
+        );
+        assert_eq!(
+            t.upstream(OperatorId(3)),
+            vec![OperatorId(1), OperatorId(2)]
+        );
+        assert_eq!(
+            t.downstream(OperatorId(0)),
+            vec![OperatorId(1), OperatorId(2)]
+        );
     }
 
     #[test]

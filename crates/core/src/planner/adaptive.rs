@@ -79,7 +79,11 @@ pub struct AdaptivePlanner<P> {
 
 impl<P: Planner> AdaptivePlanner<P> {
     pub fn new(inner: P) -> Self {
-        AdaptivePlanner { inner, min_gain: 0.01, min_gain_per_activation: 0.002 }
+        AdaptivePlanner {
+            inner,
+            min_gain: 0.01,
+            min_gain_per_activation: 0.002,
+        }
     }
 
     /// Decides whether to migrate from `current` given freshly observed
@@ -101,7 +105,10 @@ impl<P: Planner> AdaptivePlanner<P> {
         } else {
             let old_value = candidate.old_value;
             Ok(PlanAdaptation {
-                plan: Plan { tasks: current.clone(), value: old_value },
+                plan: Plan {
+                    tasks: current.clone(),
+                    value: old_value,
+                },
                 activate: TaskSet::empty(cx.n_tasks()),
                 deactivate: TaskSet::empty(cx.n_tasks()),
                 old_value,
@@ -113,7 +120,9 @@ impl<P: Planner> AdaptivePlanner<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{OperatorSpec, Partitioning, TaskIndex, TaskWeights, TopologyBuilder, Topology};
+    use crate::model::{
+        OperatorSpec, Partitioning, TaskIndex, TaskWeights, Topology, TopologyBuilder,
+    };
     use crate::planner::StructureAwarePlanner;
 
     /// 4 sources (weighted) -> 2 mids -> sink; the weights are the knob the
@@ -136,11 +145,17 @@ mod tests {
         let cx_old = PlanContext::new(&topo(vec![10.0, 1.0, 1.0, 1.0])).unwrap();
         let planner = StructureAwarePlanner::default();
         let old = planner.plan(&cx_old, 3).unwrap().tasks;
-        assert!(old.contains(TaskIndex(0)), "heavy source 0 replicated first");
+        assert!(
+            old.contains(TaskIndex(0)),
+            "heavy source 0 replicated first"
+        );
 
         let cx_new = PlanContext::new(&topo(vec![1.0, 1.0, 1.0, 10.0])).unwrap();
         let adaptation = adapt_plan(&cx_new, &planner, &old, 3).unwrap();
-        assert!(adaptation.plan.tasks.contains(TaskIndex(3)), "hot source 3 now replicated");
+        assert!(
+            adaptation.plan.tasks.contains(TaskIndex(3)),
+            "hot source 3 now replicated"
+        );
         assert!(adaptation.activate.contains(TaskIndex(3)));
         assert!(adaptation.deactivate.contains(TaskIndex(0)));
         assert!(adaptation.gain() > 0.0);

@@ -29,7 +29,9 @@ pub struct DpPlanner {
 
 impl Default for DpPlanner {
     fn default() -> Self {
-        DpPlanner { max_candidates: 2_000_000 }
+        DpPlanner {
+            max_candidates: 2_000_000,
+        }
     }
 }
 
@@ -86,7 +88,9 @@ impl Planner for DpPlanner {
             for plan in additions {
                 sc.insert(plan);
                 if sc.len() > self.max_candidates {
-                    return Err(CoreError::DpExplosion { limit: self.max_candidates });
+                    return Err(CoreError::DpExplosion {
+                        limit: self.max_candidates,
+                    });
                 }
             }
         }
@@ -113,14 +117,17 @@ impl Planner for DpPlanner {
                 best_score = best_score.max(score);
             }
         }
-        Ok(Plan { tasks: best, value: best_score })
+        Ok(Plan {
+            tasks: best,
+            value: best_score,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{OperatorSpec, Partitioning, TaskWeights, TopologyBuilder, Topology};
+    use crate::model::{OperatorSpec, Partitioning, TaskWeights, Topology, TopologyBuilder};
     use crate::planner::BruteForcePlanner;
 
     fn merge_tree(weights: Option<Vec<f64>>) -> Topology {
@@ -145,7 +152,10 @@ mod tests {
         let cx = PlanContext::new(&t).unwrap();
         let plan = DpPlanner::default().plan(&cx, 3).unwrap();
         assert_eq!(plan.resources(), 3);
-        assert!(plan.tasks.contains(crate::model::TaskIndex(0)), "heaviest source chosen");
+        assert!(
+            plan.tasks.contains(crate::model::TaskIndex(0)),
+            "heaviest source chosen"
+        );
         assert!(plan.value > 0.0);
     }
 
@@ -208,7 +218,10 @@ mod tests {
         let t = merge_tree(None);
         let cx = PlanContext::new(&t).unwrap();
         let plan = DpPlanner::default().plan(&cx, 7).unwrap();
-        assert!((plan.value - 1.0).abs() < 1e-9, "full budget must reach OF = 1");
+        assert!(
+            (plan.value - 1.0).abs() < 1e-9,
+            "full budget must reach OF = 1"
+        );
         assert_eq!(plan.resources(), 7);
     }
 

@@ -34,10 +34,7 @@ impl Planner for GreedyPlanner {
         // index tie-break keeps the planner deterministic.
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
 
-        let tasks = TaskSet::from_tasks(
-            n,
-            scored.iter().take(budget).map(|&(_, t)| TaskIndex(t)),
-        );
+        let tasks = TaskSet::from_tasks(n, scored.iter().take(budget).map(|&(_, t)| TaskIndex(t)));
         Ok(cx.make_plan(tasks))
     }
 }
@@ -60,7 +57,10 @@ mod tests {
         b.connect(m, k, Partitioning::Merge).unwrap();
         let cx = PlanContext::new(&b.build().unwrap()).unwrap();
         let plan = GreedyPlanner.plan(&cx, 1).unwrap();
-        assert!(plan.tasks.contains(TaskIndex(6)), "the sink is the most critical task");
+        assert!(
+            plan.tasks.contains(TaskIndex(6)),
+            "the sink is the most critical task"
+        );
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct PlanContext {
     objective: Objective,
     mc_limits: McTreeLimits,
     mc_trees: OnceLock<Result<Vec<TaskSet>>>,
+    /// Candidate correlated-failure sets (typically derived from a fault
+    /// domain hierarchy via [`PlanContext::with_fault_domains`]). `None`
+    /// means Definition 2's worst case: every non-replicated task down.
+    failure_sets: Option<Vec<TaskSet>>,
+    /// Lazily cached objective value of the no-failure state — the fold
+    /// identity of the domain-aware [`PlanContext::score_plan`], which
+    /// planners call per candidate (reset when the objective switches).
+    none_failed: OnceLock<f64>,
 }
 
 impl PlanContext {
@@ -78,12 +86,64 @@ impl PlanContext {
             objective: Objective::OutputFidelity,
             mc_limits: McTreeLimits::default(),
             mc_trees: OnceLock::new(),
+            failure_sets: None,
+            none_failed: OnceLock::new(),
         }
+    }
+
+    /// Builds a context whose correlated-failure sets are *derived from a
+    /// fault-domain hierarchy* instead of Definition 2's all-down worst
+    /// case: every proper domain (rack, switch, power zone, ...) of the
+    /// tree contributes the set of tasks whose hosting node it contains.
+    /// `node_of_task[t]` is task `t`'s primary node.
+    ///
+    /// Planners that score candidates through [`PlanContext::score_plan`]
+    /// (greedy, structure-aware, brute force) then optimize the worst case
+    /// over *plausible* domain failures, so replication budget is not
+    /// wasted hedging against failures the cluster topology cannot
+    /// produce. The DP planner keeps optimizing Definition 2 internally
+    /// (its recurrence is defined on the all-down case) but its reported
+    /// plan value uses the domain-aware score.
+    pub fn with_fault_domains(
+        topology: &Topology,
+        domains: &ppa_faults::FaultDomainTree,
+        node_of_task: &[ppa_faults::NodeId],
+    ) -> Result<Self> {
+        let cx = Self::new(topology)?;
+        let n = cx.n_tasks();
+        assert_eq!(node_of_task.len(), n, "node_of_task must cover every task");
+        let mut sets: Vec<TaskSet> = Vec::new();
+        for d in domains.proper_domains() {
+            let nodes = domains.nodes_under(d);
+            let set = TaskSet::from_tasks(
+                n,
+                (0..n)
+                    .filter(|&t| nodes.binary_search(&node_of_task[t]).is_ok())
+                    .map(crate::model::TaskIndex),
+            );
+            if !set.is_empty() && !sets.contains(&set) {
+                sets.push(set);
+            }
+        }
+        Ok(cx.with_failure_sets(sets))
+    }
+
+    /// Overrides the candidate correlated-failure sets directly.
+    pub fn with_failure_sets(mut self, sets: Vec<TaskSet>) -> Self {
+        self.failure_sets = Some(sets);
+        self
+    }
+
+    /// The candidate correlated-failure sets, when the context was built
+    /// from a fault-domain hierarchy (or had sets attached explicitly).
+    pub fn failure_sets(&self) -> Option<&[TaskSet]> {
+        self.failure_sets.as_deref()
     }
 
     /// Switches the metric the planners optimize.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self.none_failed = OnceLock::new(); // the cached baseline is per-objective
         self
     }
 
@@ -122,10 +182,24 @@ impl PlanContext {
         }
     }
 
-    /// Objective value of a plan under the worst-case correlated failure
-    /// (all non-replicated tasks down).
+    /// Objective value of a plan under the worst-case correlated failure.
+    ///
+    /// Without failure sets this is Definition 2: all non-replicated tasks
+    /// down. With domain-derived sets ([`PlanContext::with_fault_domains`])
+    /// it is the minimum over the candidate sets, each masked by the plan
+    /// (replicated tasks survive their domain's failure).
     pub fn score_plan(&self, plan: &TaskSet) -> f64 {
-        self.score_failed(&plan.complement())
+        match &self.failure_sets {
+            None => self.score_failed(&plan.complement()),
+            Some(sets) => {
+                let none_failed = *self
+                    .none_failed
+                    .get_or_init(|| self.score_failed(&TaskSet::empty(self.n_tasks())));
+                sets.iter()
+                    .map(|d| self.score_failed(&d.difference(plan)))
+                    .fold(none_failed, f64::min)
+            }
+        }
     }
 
     /// Output fidelity of a plan, regardless of the planning objective.
@@ -190,7 +264,9 @@ impl Planner for BruteForcePlanner {
     fn plan(&self, cx: &PlanContext, budget: usize) -> Result<Plan> {
         let trees = cx.mc_trees()?;
         if trees.len() > self.max_trees {
-            return Err(crate::error::CoreError::McTreeExplosion { limit: self.max_trees });
+            return Err(crate::error::CoreError::McTreeExplosion {
+                limit: self.max_trees,
+            });
         }
         let n = cx.n_tasks();
         let mut best = TaskSet::empty(n);
@@ -213,7 +289,10 @@ impl Planner for BruteForcePlanner {
                 best_score = score;
             }
         }
-        Ok(Plan { tasks: best, value: best_score })
+        Ok(Plan {
+            tasks: best,
+            value: best_score,
+        })
     }
 }
 
@@ -263,6 +342,56 @@ mod tests {
     }
 
     #[test]
+    fn fault_domains_derive_failure_sets_and_relax_scoring() {
+        use ppa_faults::FaultDomainTree;
+        let t = small(); // 2 source tasks + 1 sink task
+                         // Tasks 0,1 (sources) on nodes 0,1 in rack A; task 2 (sink) on
+                         // node 2 in rack B.
+        let node_of_task = [0usize, 1, 2];
+        let racks = FaultDomainTree::racks(&[0, 1, 2], 2);
+        let cx = PlanContext::with_fault_domains(&t, &racks, &node_of_task).unwrap();
+        // Two proper domains → two distinct failure sets.
+        assert_eq!(cx.failure_sets().unwrap().len(), 2);
+
+        // Under Definition 2 an empty plan scores 0 (everything dies); under
+        // the rack model the worst single-rack failure still leaves either
+        // the sink or the sources, but never a complete source→sink tree,
+        // so the empty plan still scores 0 here.
+        let empty = TaskSet::empty(3);
+        assert_eq!(cx.score_plan(&empty), 0.0);
+
+        // Replicating the sink makes the cluster survive the sink's rack
+        // failing — but rack A dying still kills both sources, so OF stays
+        // 0. Replicating one source *and* the sink covers both failures:
+        // whichever rack dies, a full tree survives.
+        let sink_only = TaskSet::from_tasks(3, [crate::model::TaskIndex(2)]);
+        assert_eq!(cx.score_plan(&sink_only), 0.0);
+        let covered =
+            TaskSet::from_tasks(3, [crate::model::TaskIndex(0), crate::model::TaskIndex(2)]);
+        assert!(
+            cx.score_plan(&covered) > 0.0,
+            "a plan covering every rack failure scores positively under the domain model"
+        );
+        // ... while Definition 2 gives the same plan a zero (the other
+        // source task is assumed dead too, halving the source rate but the
+        // tree survives — actually check both models agree on sign).
+        let def2 = PlanContext::new(&t).unwrap();
+        assert!(
+            cx.score_plan(&covered) >= def2.score_plan(&covered),
+            "domain-restricted failures can only improve the worst case"
+        );
+    }
+
+    #[test]
+    fn explicit_failure_sets_override() {
+        let cx = PlanContext::new(&small())
+            .unwrap()
+            .with_failure_sets(vec![]);
+        // No plausible failure at all: every plan is perfect.
+        assert_eq!(cx.score_plan(&TaskSet::empty(3)), 1.0);
+    }
+
+    #[test]
     fn objective_switch_changes_scoring() {
         // Join where the two metrics diverge.
         let mut b = TopologyBuilder::new();
@@ -274,8 +403,9 @@ mod tests {
         let t = b.build().unwrap();
 
         let cx_of = PlanContext::new(&t).unwrap();
-        let cx_ic =
-            PlanContext::new(&t).unwrap().with_objective(Objective::InternalCompleteness);
+        let cx_ic = PlanContext::new(&t)
+            .unwrap()
+            .with_objective(Objective::InternalCompleteness);
         // Plan covering one source of s1 plus the join, nothing of s2.
         let plan = TaskSet::from_tasks(5, [crate::model::TaskIndex(0), crate::model::TaskIndex(4)]);
         assert_eq!(cx_of.score_plan(&plan), 0.0, "join starves without s2");

@@ -36,7 +36,10 @@ pub struct StructureAwarePlanner {
 
 impl Default for StructureAwarePlanner {
     fn default() -> Self {
-        StructureAwarePlanner { segment_cap: 512, eval_cap: 48 }
+        StructureAwarePlanner {
+            segment_cap: 512,
+            eval_cap: 48,
+        }
     }
 }
 
@@ -59,10 +62,8 @@ impl StructureAwarePlanner {
         let mut states: Vec<SubState> = subs
             .into_iter()
             .map(|sub| {
-                let tasks = TaskSet::from_tasks(
-                    n,
-                    sub.ops.iter().flat_map(|&op| graph.op_tasks(op)),
-                );
+                let tasks =
+                    TaskSet::from_tasks(n, sub.ops.iter().flat_map(|&op| graph.op_tasks(op)));
                 // Upstream closure of the sub's tasks.
                 let mut cone = tasks.clone();
                 let mut stack: Vec<_> = tasks.iter().collect();
@@ -74,8 +75,8 @@ impl StructureAwarePlanner {
                         }
                     }
                 }
-                let joins_as_union = cx.objective()
-                    == crate::planner::Objective::InternalCompleteness;
+                let joins_as_union =
+                    cx.objective() == crate::planner::Objective::InternalCompleteness;
                 let units = match sub.kind {
                     SubKind::Structured => Some(UnitGraph::build_with(
                         graph,
@@ -100,7 +101,12 @@ impl StructureAwarePlanner {
             .map(|(i, op)| (op.0, i))
             .collect();
         states.sort_by_key(|s| {
-            s.sub.ops.iter().map(|op| topo_pos[&op.0]).max().unwrap_or(0)
+            s.sub
+                .ops
+                .iter()
+                .map(|op| topo_pos[&op.0])
+                .max()
+                .unwrap_or(0)
         });
         states
     }
@@ -211,7 +217,9 @@ impl Planner for StructureAwarePlanner {
                 let density = (cx.score_plan(&trial) - before_global) / cost as f64;
                 let better = match &best {
                     None => true,
-                    Some((cur, d)) => density > *d + 1e-12 || (density > *d - 1e-12 && trial < *cur),
+                    Some((cur, d)) => {
+                        density > *d + 1e-12 || (density > *d - 1e-12 && trial < *cur)
+                    }
                 };
                 if better {
                     best = Some((trial, density));
@@ -253,12 +261,7 @@ impl Planner for StructureAwarePlanner {
 /// the paper's Algorithm 5 strands budget once no complete MC-tree fits).
 /// Also covers tasks that segment-cap truncation hid from the candidate
 /// enumeration.
-fn fill_support_groups(
-    cx: &PlanContext,
-    graph: &TaskGraph,
-    plan: &mut TaskSet,
-    budget: usize,
-) {
+fn fill_support_groups(cx: &PlanContext, graph: &TaskGraph, plan: &mut TaskSet, budget: usize) {
     let n = graph.n_tasks();
     loop {
         let remaining = budget.saturating_sub(plan.len());
@@ -284,9 +287,7 @@ fn fill_support_groups(
             let density = (s - base) / add.len() as f64;
             let better = match &best {
                 None => true,
-                Some((cur, d)) => {
-                    density > *d + 1e-12 || (density > *d - 1e-12 && add < *cur)
-                }
+                Some((cur, d)) => density > *d + 1e-12 || (density > *d - 1e-12 && add < *cur),
             };
             if better {
                 best = Some((add, density));
@@ -393,7 +394,7 @@ fn support_group(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{OperatorSpec, Partitioning, TaskWeights, TopologyBuilder, Topology};
+    use crate::model::{OperatorSpec, Partitioning, TaskWeights, Topology, TopologyBuilder};
     use crate::planner::{DpPlanner, GreedyPlanner};
 
     fn merge_chain(weights: Vec<f64>) -> Topology {
@@ -489,7 +490,11 @@ mod tests {
         b.connect(f, k, Partitioning::Full).unwrap();
         let cx = PlanContext::new(&b.build().unwrap()).unwrap();
         let plan = StructureAwarePlanner::default().plan(&cx, 4).unwrap();
-        assert!(plan.value > 0.0, "stitched tree across sub-topologies: {:?}", plan.tasks);
+        assert!(
+            plan.value > 0.0,
+            "stitched tree across sub-topologies: {:?}",
+            plan.tasks
+        );
         assert!(plan.resources() <= 4);
     }
 

@@ -63,8 +63,7 @@ pub fn plan_full(
     }
     let deltas = operator_deltas(graph, ops, score_failed);
     let n = graph.n_tasks();
-    let sub_tasks: TaskSet =
-        TaskSet::from_tasks(n, ops.iter().flat_map(|&op| graph.op_tasks(op)));
+    let sub_tasks: TaskSet = TaskSet::from_tasks(n, ops.iter().flat_map(|&op| graph.op_tasks(op)));
 
     let mut applied = false;
     let mut steps = 0usize;
@@ -156,7 +155,10 @@ mod tests {
         );
         assert!(applied);
         assert_eq!(plan.len(), 3);
-        assert!(cx.score_plan(&plan) > 0.0, "one task per op forms a complete tree");
+        assert!(
+            cx.score_plan(&plan) > 0.0,
+            "one task per op forms a complete tree"
+        );
         // The heaviest source must be part of the seed.
         assert!(plan.contains(TaskIndex(0)));
     }

@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(subs[0].ops, vec![OperatorId(3), OperatorId(4)]);
         assert_eq!(subs[0].kind, SubKind::Structured);
         // Upstream sub: {O1, O2, O3}.
-        assert_eq!(subs[1].ops, vec![OperatorId(0), OperatorId(1), OperatorId(2)]);
+        assert_eq!(
+            subs[1].ops,
+            vec![OperatorId(0), OperatorId(1), OperatorId(2)]
+        );
         assert_eq!(subs[1].kind, SubKind::Structured);
     }
 
@@ -171,7 +174,11 @@ mod tests {
         let t = b.build().unwrap();
         let subs = decompose(&t);
         assert_eq!(subs.len(), 2);
-        assert_eq!(subs[0].kind, SubKind::Full, "sink with full input seeds a full sub");
+        assert_eq!(
+            subs[0].kind,
+            SubKind::Full,
+            "sink with full input seeds a full sub"
+        );
         // The mid operator partitions its output with Full, so it belongs
         // to the full sub-topology too.
         assert_eq!(subs[0].ops, vec![OperatorId(1), OperatorId(2)]);

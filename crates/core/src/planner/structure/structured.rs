@@ -86,9 +86,7 @@ pub fn plan_structured(
                 let density = gain / group.len() as f64;
                 let better = match &best {
                     None => true,
-                    Some((cur, d)) => {
-                        density > *d + EPS || (density > *d - EPS && group < *cur)
-                    }
+                    Some((cur, d)) => density > *d + EPS || (density > *d - EPS && group < *cur),
                 };
                 if better {
                     best = Some((group, density));
@@ -262,7 +260,10 @@ mod tests {
             false,
         );
         assert!(applied);
-        assert!(cx.score_plan(&plan) > 0.0, "a complete MC-tree was formed: {plan:?}");
+        assert!(
+            cx.score_plan(&plan) > 0.0,
+            "a complete MC-tree was formed: {plan:?}"
+        );
         assert!(plan.len() <= 3);
     }
 
@@ -270,7 +271,16 @@ mod tests {
     fn respects_budget() {
         let (cx, ug) = two_unit_context();
         let mut plan = TaskSet::empty(cx.n_tasks());
-        plan_structured(cx.graph(), &ug, &mut plan, 2, usize::MAX, 64, &|p| cx.score_plan(p), false);
+        plan_structured(
+            cx.graph(),
+            &ug,
+            &mut plan,
+            2,
+            usize::MAX,
+            64,
+            &|p| cx.score_plan(p),
+            false,
+        );
         assert!(plan.len() <= 2);
         // Minimum complete tree is 3 tasks, so nothing useful fits in 2 and
         // the algorithm must not waste the budget on incomplete segments.
@@ -294,10 +304,20 @@ mod tests {
         assert!(applied);
         let one_step = plan.len();
         let mut plan2 = TaskSet::empty(cx.n_tasks());
-        plan_structured(cx.graph(), &ug, &mut plan2, 10, usize::MAX, 64, &|p| {
-            cx.score_plan(p)
-        }, false);
-        assert!(plan2.len() >= one_step, "unbounded steps cover at least as much");
+        plan_structured(
+            cx.graph(),
+            &ug,
+            &mut plan2,
+            10,
+            usize::MAX,
+            64,
+            &|p| cx.score_plan(p),
+            false,
+        );
+        assert!(
+            plan2.len() >= one_step,
+            "unbounded steps cover at least as much"
+        );
     }
 
     #[test]
@@ -305,7 +325,16 @@ mod tests {
         let (cx, ug) = two_unit_context();
         let n = cx.n_tasks();
         let mut plan = TaskSet::empty(n);
-        plan_structured(cx.graph(), &ug, &mut plan, n, usize::MAX, 64, &|p| cx.score_plan(p), false);
+        plan_structured(
+            cx.graph(),
+            &ug,
+            &mut plan,
+            n,
+            usize::MAX,
+            64,
+            &|p| cx.score_plan(p),
+            false,
+        );
         assert!(
             (cx.score_plan(&plan) - 1.0).abs() < 1e-9,
             "with budget = all tasks the plan reaches OF 1, got {}",
@@ -320,7 +349,16 @@ mod tests {
         // Seed the plan with a full tree minus one source; the single
         // missing source segment should be added as a lone candidate.
         let mut plan = TaskSet::empty(n);
-        plan_structured(cx.graph(), &ug, &mut plan, 3, usize::MAX, 64, &|p| cx.score_plan(p), false);
+        plan_structured(
+            cx.graph(),
+            &ug,
+            &mut plan,
+            3,
+            usize::MAX,
+            64,
+            &|p| cx.score_plan(p),
+            false,
+        );
         let full_tree_score = cx.score_plan(&plan);
         // Remove one source task from the plan.
         let source = plan.iter().find(|&t| cx.graph().is_source_task(t)).unwrap();

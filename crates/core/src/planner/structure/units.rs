@@ -142,22 +142,21 @@ impl UnitGraph {
         let units = units_ops
             .into_iter()
             .map(|unit_ops| {
-                let mut segments = enumerate_unit_segments(
-                    graph,
-                    rates,
-                    &unit_ops,
-                    segment_cap,
-                    joins_as_union,
-                );
+                let mut segments =
+                    enumerate_unit_segments(graph, rates, &unit_ops, segment_cap, joins_as_union);
                 segments.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
                 segments.truncate(segment_cap);
-                Unit { ops: unit_ops, segments }
+                Unit {
+                    ops: unit_ops,
+                    segments,
+                }
             })
             .collect();
 
         UnitGraph {
             units,
-            adj: adj.into_iter()
+            adj: adj
+                .into_iter()
                 .map(|s| {
                     let mut v: Vec<usize> = s.into_iter().collect();
                     v.sort_unstable();
@@ -346,7 +345,11 @@ mod tests {
         let g = TaskGraph::new(b.build().unwrap());
         let r = RateModel::compute(&g);
         let ug = UnitGraph::build(&g, &r, &[OperatorId(0), OperatorId(1), OperatorId(2)], 128);
-        assert_eq!(ug.units.len(), 2, "boundary on the merge edge into the join");
+        assert_eq!(
+            ug.units.len(),
+            2,
+            "boundary on the merge edge into the join"
+        );
         // O1 is alone; O2 and O3 stay together via the one-to-one edge.
         let lone = ug.units.iter().find(|u| u.ops.len() == 1).unwrap();
         assert_eq!(lone.ops, vec![OperatorId(0)]);
@@ -362,8 +365,7 @@ mod tests {
         b.connect(m, k, Partitioning::Merge).unwrap();
         let g = TaskGraph::new(b.build().unwrap());
         let r = RateModel::compute(&g);
-        let ug =
-            UnitGraph::build(&g, &r, &[OperatorId(0), OperatorId(1), OperatorId(2)], 128);
+        let ug = UnitGraph::build(&g, &r, &[OperatorId(0), OperatorId(1), OperatorId(2)], 128);
         assert_eq!(ug.units.len(), 1);
         assert_eq!(ug.units[0].segments.len(), 4, "one segment per source path");
     }
@@ -386,7 +388,10 @@ mod tests {
         let ug = UnitGraph::build(&g, &r, &ops, 128);
         for unit in &ug.units {
             for pair in unit.segments.windows(2) {
-                assert!(pair[0].1 >= pair[1].1, "segments sorted by descending weight");
+                assert!(
+                    pair[0].1 >= pair[1].1,
+                    "segments sorted by descending weight"
+                );
             }
         }
     }
@@ -398,6 +403,9 @@ mod tests {
         let x0 = TaskSet::from_tasks(g.n_tasks(), [TaskIndex(4)]);
         let x1 = TaskSet::from_tasks(g.n_tasks(), [TaskIndex(5)]);
         assert!(sets_connected(&g, &src0, &x0), "source 0 feeds X task 0");
-        assert!(!sets_connected(&g, &src0, &x1), "source 0 does not feed X task 1");
+        assert!(
+            !sets_connected(&g, &src0, &x1),
+            "source 0 does not feed X task 1"
+        );
     }
 }

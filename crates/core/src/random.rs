@@ -14,8 +14,7 @@
 //! harmless for the experiment).
 
 use crate::model::{
-    InputSemantics, OperatorId, OperatorSpec, Partitioning, TaskWeights, Topology,
-    TopologyBuilder,
+    InputSemantics, OperatorId, OperatorSpec, Partitioning, TaskWeights, Topology, TopologyBuilder,
 };
 use rand::Rng;
 
@@ -24,7 +23,9 @@ use rand::Rng;
 pub enum Skew {
     Uniform,
     /// Zipf with exponent `s` (the paper uses `s = 0.1`).
-    Zipf { s: f64 },
+    Zipf {
+        s: f64,
+    },
 }
 
 impl Skew {
@@ -95,7 +96,9 @@ impl RandomTopologySpec {
     }
 
     fn try_generate(&self, rng: &mut impl Rng) -> crate::error::Result<Topology> {
-        let n_ops = rng.gen_range(self.n_operators.0..=self.n_operators.1).max(2);
+        let n_ops = rng
+            .gen_range(self.n_operators.0..=self.n_operators.1)
+            .max(2);
         let (pmin, pmax) = self.parallelism;
 
         // Layering: sources, middles, one sink.
@@ -105,13 +108,16 @@ impl RandomTopologySpec {
         layer_of[n_ops - 1] = n_layers - 1;
         // First op(s) in layer 0; the rest spread over 0..n_layers-1.
         for (i, l) in layer_of.iter_mut().enumerate().take(n_ops - 1) {
-            *l = if i == 0 { 0 } else { rng.gen_range(0..n_layers.saturating_sub(1).max(1)) };
+            *l = if i == 0 {
+                0
+            } else {
+                rng.gen_range(0..n_layers.saturating_sub(1).max(1))
+            };
         }
 
         // Sample parallelism; the sink tends to be narrow in real queries,
         // but we keep the paper's uniform sampling.
-        let mut parallelism: Vec<usize> =
-            (0..n_ops).map(|_| rng.gen_range(pmin..=pmax)).collect();
+        let mut parallelism: Vec<usize> = (0..n_ops).map(|_| rng.gen_range(pmin..=pmax)).collect();
 
         // Choose join operators among those we will give two inputs.
         let mut is_join = vec![false; n_ops];
@@ -133,14 +139,13 @@ impl RandomTopologySpec {
             if candidates.is_empty() {
                 continue;
             }
-            let n_inputs = if rng.gen_bool(self.join_fraction.clamp(0.0, 1.0))
-                && candidates.len() >= 2
-            {
-                is_join[i] = true;
-                2
-            } else {
-                1
-            };
+            let n_inputs =
+                if rng.gen_bool(self.join_fraction.clamp(0.0, 1.0)) && candidates.len() >= 2 {
+                    is_join[i] = true;
+                    2
+                } else {
+                    1
+                };
             let mut chosen: Vec<usize> = Vec::new();
             while chosen.len() < n_inputs {
                 let u = candidates[rng.gen_range(0..candidates.len())];
@@ -168,7 +173,10 @@ impl RandomTopologySpec {
                     .collect();
                 let compatible_later = later.iter().copied().find(|&v| {
                     !has_input[v]
-                        || matches!(self.style, TopologyStyle::Full | TopologyStyle::Mixed { .. })
+                        || matches!(
+                            self.style,
+                            TopologyStyle::Full | TopologyStyle::Mixed { .. }
+                        )
                         || parallelism[i] == parallelism[v]
                         || (parallelism[i] > parallelism[v]
                             && parallelism[i].is_multiple_of(parallelism[v]))
@@ -224,10 +232,10 @@ impl RandomTopologySpec {
                         }
                     }
                     _ => {
-                        let divisors: Vec<usize> =
-                            (1..n1).filter(|d| n1.is_multiple_of(*d) && *d < n1).collect();
-                        if let Some(&d) = divisors.get(rng.gen_range(0..divisors.len().max(1)))
-                        {
+                        let divisors: Vec<usize> = (1..n1)
+                            .filter(|d| n1.is_multiple_of(*d) && *d < n1)
+                            .collect();
+                        if let Some(&d) = divisors.get(rng.gen_range(0..divisors.len().max(1))) {
                             parallelism[v] = d;
                             Partitioning::Merge
                         } else {
@@ -281,8 +289,8 @@ impl RandomTopologySpec {
                     .with_weights(weights.clone())
             } else {
                 let sel = rng.gen_range(self.selectivity.0..=self.selectivity.1);
-                let mut s = OperatorSpec::map(format!("O{i}"), para, sel)
-                    .with_weights(weights.clone());
+                let mut s =
+                    OperatorSpec::map(format!("O{i}"), para, sel).with_weights(weights.clone());
                 if is_join[i] {
                     s = s.with_semantics(InputSemantics::Correlated);
                 }
@@ -396,12 +404,14 @@ mod tests {
 
     #[test]
     fn generated_topologies_are_plannable() {
-        use crate::planner::{GreedyPlanner, Planner, StructureAwarePlanner, PlanContext};
+        use crate::planner::{GreedyPlanner, PlanContext, Planner, StructureAwarePlanner};
         let spec = RandomTopologySpec {
             n_operators: (5, 7),
             parallelism: (1, 6),
             join_fraction: 0.5,
-            style: TopologyStyle::Mixed { full_probability: 0.3 },
+            style: TopologyStyle::Mixed {
+                full_probability: 0.3,
+            },
             ..RandomTopologySpec::default()
         };
         let mut rng = StdRng::seed_from_u64(7);

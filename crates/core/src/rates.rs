@@ -71,7 +71,11 @@ impl RateModel {
                 let mut rates = Vec::with_capacity(ostream.targets.len());
                 for &d in &ostream.targets {
                     let w = shares[to_op.0][graph.local_index(d)];
-                    let r = if weight_sum > 0.0 { out * w / weight_sum } else { 0.0 };
+                    let r = if weight_sum > 0.0 {
+                        out * w / weight_sum
+                    } else {
+                        0.0
+                    };
                     rates.push(r);
                     // Accumulate into the downstream task's input stream for
                     // this operator edge.
@@ -87,7 +91,10 @@ impl RateModel {
             substream[t.0] = streams;
         }
 
-        RateModel { task_out, substream }
+        RateModel {
+            task_out,
+            substream,
+        }
     }
 
     /// λout of a task.
@@ -103,12 +110,7 @@ impl RateModel {
 
     /// Rate of the substream from upstream task `from` into downstream task
     /// `to` along the operator edge `edge` (0 if not connected).
-    pub fn substream_rate_between(
-        &self,
-        graph: &TaskGraph,
-        from: TaskIndex,
-        to: TaskIndex,
-    ) -> f64 {
+    pub fn substream_rate_between(&self, graph: &TaskGraph, from: TaskIndex, to: TaskIndex) -> f64 {
         for (si, ostream) in graph.outputs(from).iter().enumerate() {
             if let Some(k) = ostream.targets.iter().position(|&d| d == to) {
                 return self.substream[from.0][si][k];
@@ -177,8 +179,7 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 1, 100.0));
         let m = b.add_operator(
-            OperatorSpec::map("m", 2, 1.0)
-                .with_weights(TaskWeights::Explicit(vec![3.0, 1.0])),
+            OperatorSpec::map("m", 2, 1.0).with_weights(TaskWeights::Explicit(vec![3.0, 1.0])),
         );
         b.connect(s, m, Partitioning::Full).unwrap();
         let g = TaskGraph::new(b.build().unwrap());

@@ -78,8 +78,7 @@ pub fn checkpoint_recovery_with_age(
     if k >= 1.0 {
         return None;
     }
-    let load_secs =
-        profile.state_tuples * costs.state_load_per_tuple.as_micros() as f64 / 1e6;
+    let load_secs = profile.state_tuples * costs.state_load_per_tuple.as_micros() as f64 / 1e6;
     let t = load_secs + checkpoint_age.as_secs_f64() * k;
     Some(SimDuration::from_secs_f64(t.max(0.0)))
 }
@@ -93,9 +92,7 @@ pub fn active_takeover(
 ) -> SimDuration {
     let buffered = profile.output_rate * sync_interval.as_secs_f64();
     let resend = buffered * costs.resend_per_tuple.as_micros() as f64 / 1e6;
-    SimDuration::from_secs_f64(resend)
-        + costs.batch_overhead
-        + costs.network_latency
+    SimDuration::from_secs_f64(resend) + costs.batch_overhead + costs.network_latency
 }
 
 /// Expected Storm source-replay latency for a task `depth` hops from the
@@ -170,11 +167,21 @@ mod tests {
         let interval = SimDuration::from_secs(20);
 
         let mut q = crate::query::QueryBuilder::new();
-        let s = q.add_source(OperatorSpec::source("s", 2, per_batch as f64), move |task| {
-            Box::new(CountingSource { per_batch, seed: task as u64, key_space: 64 })
-        });
+        let s = q.add_source(
+            OperatorSpec::source("s", 2, per_batch as f64),
+            move |task| {
+                Box::new(CountingSource {
+                    per_batch,
+                    seed: task as u64,
+                    key_space: 64,
+                })
+            },
+        );
         let m = q.add_operator(OperatorSpec::map("m", 1, 1.0), move |_| {
-            Box::new(Windowed { w: window, buf: WindowBuffer::new() })
+            Box::new(Windowed {
+                w: window,
+                buf: WindowBuffer::new(),
+            })
         });
         q.connect(s, m, Partitioning::Merge).unwrap();
         let q = q.build().unwrap();
@@ -187,7 +194,10 @@ mod tests {
                 mode: FtMode::checkpoint(3, interval),
                 ..EngineConfig::default()
             },
-            vec![FailureSpec { at: SimTime::from_secs(51), nodes: vec![2] }],
+            vec![FailureSpec {
+                at: SimTime::from_secs(51),
+                nodes: vec![2],
+            }],
             SimDuration::from_secs(160),
         );
         let measured = report.recoveries[0]
@@ -196,8 +206,7 @@ mod tests {
             .as_secs_f64();
 
         let costs = crate::config::CostModel::default();
-        let profile =
-            TaskProfile::windowed(2.0 * per_batch as f64, 1.0, window as f64);
+        let profile = TaskProfile::windowed(2.0 * per_batch as f64, 1.0, window as f64);
         // Reconstruct the actual checkpoint age of task 2 at the failure
         // instant (checkpoints are staggered exactly as the engine does it).
         let offset_us = 2u64.wrapping_mul(2_654_435_761) % interval.as_micros();
@@ -224,7 +233,10 @@ mod tests {
         let fast = active_takeover(&costs, &profile, SimDuration::from_secs(5));
         let slow = active_takeover(&costs, &profile, SimDuration::from_secs(30));
         assert!(fast < slow);
-        assert!(slow < SimDuration::from_secs(2), "takeover stays sub-second-ish: {slow}");
+        assert!(
+            slow < SimDuration::from_secs(2),
+            "takeover stays sub-second-ish: {slow}"
+        );
     }
 
     #[test]

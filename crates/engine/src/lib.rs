@@ -35,10 +35,15 @@ pub mod tuple;
 pub mod udf;
 
 pub use config::{CostModel, EngineConfig, FtMode};
-pub use estimate::{active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile};
+pub use estimate::{
+    active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile,
+};
 pub use placement::Placement;
 pub use query::{Query, QueryBuilder};
 pub use report::{RunReport, SinkBatch, TaskRecovery, TaskThroughput};
 pub use runtime::{FailureSpec, Simulation};
+// Re-exported so engine users can build replayable failure scenarios
+// without naming the faults crate explicitly.
+pub use ppa_faults::{FailureEvent, FailureTrace};
 pub use tuple::{Key, Tuple, Value};
 pub use udf::{BatchCtx, InputBatch, SourceGen, Udf};

@@ -37,11 +37,23 @@ impl Placement {
 
     /// Explicit placement. `primary[t]` must be `< n_workers` and
     /// `standby[t]` in `n_workers..n_workers+n_standby`.
-    pub fn explicit(primary: Vec<NodeId>, standby: Vec<NodeId>, n_workers: usize, n_standby: usize) -> Self {
+    pub fn explicit(
+        primary: Vec<NodeId>,
+        standby: Vec<NodeId>,
+        n_workers: usize,
+        n_standby: usize,
+    ) -> Self {
         assert_eq!(primary.len(), standby.len());
         assert!(primary.iter().all(|&n| n < n_workers));
-        assert!(standby.iter().all(|&n| (n_workers..n_workers + n_standby).contains(&n)));
-        Placement { primary, standby, n_workers, n_standby }
+        assert!(standby
+            .iter()
+            .all(|&n| (n_workers..n_workers + n_standby).contains(&n)));
+        Placement {
+            primary,
+            standby,
+            n_workers,
+            n_standby,
+        }
     }
 
     /// Total number of nodes (workers + standby).
@@ -103,7 +115,11 @@ mod tests {
         let g = graph();
         let p = Placement::round_robin(&g, 3, 2);
         assert_eq!(p.tasks_on(0), vec![TaskIndex(0), TaskIndex(3)]);
-        assert_eq!(p.tasks_on(4), Vec::<TaskIndex>::new(), "standby hosts no primaries");
+        assert_eq!(
+            p.tasks_on(4),
+            Vec::<TaskIndex>::new(),
+            "standby hosts no primaries"
+        );
     }
 
     #[test]

@@ -107,20 +107,28 @@ impl QueryBuilder {
                 });
             }
         }
-        Ok(Query { topology, sources: self.sources, udfs: self.udfs })
+        Ok(Query {
+            topology,
+            sources: self.sources,
+            udfs: self.udfs,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::udf::{CountingSource, MapUdf};
     use crate::tuple::Tuple;
+    use crate::udf::{CountingSource, MapUdf};
 
     fn tiny_query() -> Query {
         let mut q = QueryBuilder::new();
         let s = q.add_source(OperatorSpec::source("src", 2, 100.0), |task| {
-            Box::new(CountingSource { per_batch: 100, seed: task as u64, key_space: 64 })
+            Box::new(CountingSource {
+                per_batch: 100,
+                seed: task as u64,
+                key_space: 64,
+            })
         });
         let m = q.add_operator(OperatorSpec::map("map", 1, 1.0), |_| {
             Box::new(MapUdf::new(|t: &Tuple| Some(t.clone())))

@@ -99,8 +99,11 @@ impl RunReport {
     /// Mean recovery latency over recovered tasks (`None` if nothing
     /// recovered).
     pub fn mean_recovery_latency(&self) -> Option<SimDuration> {
-        let lat: Vec<SimDuration> =
-            self.recoveries.iter().filter_map(TaskRecovery::latency).collect();
+        let lat: Vec<SimDuration> = self
+            .recoveries
+            .iter()
+            .filter_map(TaskRecovery::latency)
+            .collect();
         if lat.is_empty() {
             return None;
         }
@@ -111,8 +114,7 @@ impl RunReport {
     /// Latest recovery completion (the correlated-failure "recovery done"
     /// instant).
     pub fn full_recovery_at(&self) -> Option<SimTime> {
-        if self.recoveries.is_empty() || self.recoveries.iter().any(|r| r.recovered_at.is_none())
-        {
+        if self.recoveries.is_empty() || self.recoveries.iter().any(|r| r.recovered_at.is_none()) {
             return None;
         }
         self.recoveries.iter().filter_map(|r| r.recovered_at).max()
@@ -181,7 +183,10 @@ mod tests {
 
     #[test]
     fn throughput_rates() {
-        let t = TaskThroughput { tuples_in: 500, tuples_out: 1_000 };
+        let t = TaskThroughput {
+            tuples_in: 500,
+            tuples_out: 1_000,
+        };
         assert!((t.out_rate(10.0) - 100.0).abs() < 1e-9);
         assert_eq!(t.out_rate(0.0), 0.0);
     }
@@ -210,7 +215,10 @@ mod tests {
         let mut rep = RunReport::default();
         rep.recoveries.push(mk(0, Some(SimTime::from_secs(25))));
         rep.recoveries.push(mk(1, Some(SimTime::from_secs(35))));
-        assert_eq!(rep.mean_recovery_latency(), Some(SimDuration::from_secs(15)));
+        assert_eq!(
+            rep.mean_recovery_latency(),
+            Some(SimDuration::from_secs(15))
+        );
         assert_eq!(rep.full_recovery_at(), Some(SimTime::from_secs(35)));
         // Unrecovered task blocks full_recovery_at.
         rep.recoveries.push(mk(2, None));
@@ -248,7 +256,10 @@ mod tests {
             tentative: true,
             tuples: vec![],
         });
-        assert_eq!(rep.first_tentative_after(SimTime::ZERO), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            rep.first_tentative_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
         assert_eq!(rep.first_tentative_after(SimTime::from_secs(11)), None);
         assert_eq!(rep.sink_batches(9).count(), 1);
     }

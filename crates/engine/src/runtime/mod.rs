@@ -31,6 +31,7 @@ use crate::report::{CpuStats, RunReport, SinkBatch, TaskRecovery};
 use crate::tuple::{route, Tuple};
 use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
 use ppa_core::model::{TaskGraph, TaskIndex};
+use ppa_faults::FailureTrace;
 use ppa_sim::{Scheduler, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -116,8 +117,7 @@ impl TaskRt {
 
     /// Whether batch `b` can be processed.
     fn ready(&self, b: u64) -> bool {
-        (0..self.n_substreams())
-            .all(|s| self.staged[s].contains_key(&b) || self.closed[s] > b)
+        (0..self.n_substreams()).all(|s| self.staged[s].contains_key(&b) || self.closed[s] > b)
     }
 
     fn buffered_tuples(&self) -> usize {
@@ -130,20 +130,40 @@ impl TaskRt {
 }
 
 enum Msg {
-    Data { tuples: Arc<Vec<Tuple>>, degraded: bool, replay_for: Option<TaskIndex> },
+    Data {
+        tuples: Arc<Vec<Tuple>>,
+        degraded: bool,
+        replay_for: Option<TaskIndex>,
+    },
     /// Master-generated proxy punctuation closing batches `..=batch`.
     Proxy,
 }
 
 enum Event {
-    SourceBatch { rt: Rt, batch: u64 },
-    Deliver { to: Rt, substream: usize, batch: u64, msg: Msg },
-    Checkpoint { rt: Rt },
+    SourceBatch {
+        rt: Rt,
+        batch: u64,
+    },
+    Deliver {
+        to: Rt,
+        substream: usize,
+        batch: u64,
+        msg: Msg,
+    },
+    Checkpoint {
+        rt: Rt,
+    },
     ReplicaSync,
     HeartbeatScan,
-    Failure { idx: usize },
-    RestoreDone { rt: Rt },
-    TakeoverDone { logical: usize },
+    Failure {
+        idx: usize,
+    },
+    RestoreDone {
+        rt: Rt,
+    },
+    TakeoverDone {
+        logical: usize,
+    },
     ProxyTick,
 }
 
@@ -177,7 +197,11 @@ impl Simulation {
     pub fn new(query: &Query, placement: Placement, config: EngineConfig) -> Self {
         let graph = TaskGraph::new(query.topology().clone());
         let n = graph.n_tasks();
-        assert_eq!(placement.primary.len(), n, "placement must cover every task");
+        assert_eq!(
+            placement.primary.len(),
+            n,
+            "placement must cover every task"
+        );
 
         // Flat substream layout per receiving task.
         let sub_from: Vec<Vec<(usize, TaskIndex)>> = (0..n)
@@ -201,11 +225,14 @@ impl Simulation {
                         let to_substream = sub_from[d.0]
                             .iter()
                             .position(|&(s, u)| {
-                                u == TaskIndex(t)
-                                    && graph.inputs(d)[s].edge == ostream.edge
+                                u == TaskIndex(t) && graph.inputs(d)[s].edge == ostream.edge
                             })
                             .expect("substream layout mismatch");
-                        outs.push(OutTarget { stream, to: d, to_substream });
+                        outs.push(OutTarget {
+                            stream,
+                            to: d,
+                            to_substream,
+                        });
                     }
                 }
                 outs
@@ -213,9 +240,10 @@ impl Simulation {
             .collect();
 
         let (plan, checkpoint_interval) = match &config.mode {
-            FtMode::Ppa { plan, checkpoint_interval } => {
-                (Some(plan.clone()), *checkpoint_interval)
-            }
+            FtMode::Ppa {
+                plan,
+                checkpoint_interval,
+            } => (Some(plan.clone()), *checkpoint_interval),
             _ => (None, None),
         };
         let storm_buffer_batches = match &config.mode {
@@ -255,7 +283,9 @@ impl Simulation {
             }
         };
 
-        let mut tasks: Vec<TaskRt> = (0..n).map(|t| mk_task(t, false, placement.primary[t])).collect();
+        let mut tasks: Vec<TaskRt> = (0..n)
+            .map(|t| mk_task(t, false, placement.primary[t]))
+            .collect();
         let mut replica_slot = vec![None; n];
         if let Some(plan) = &plan {
             for t in plan.iter() {
@@ -309,15 +339,19 @@ impl Simulation {
         // First batch of every source task materializes at t = B.
         for t in 0..self.graph.n_tasks() {
             if self.tasks[t].source.is_some() {
-                self.sched.at(SimTime::ZERO + b, Event::SourceBatch { rt: t, batch: 0 });
+                self.sched
+                    .at(SimTime::ZERO + b, Event::SourceBatch { rt: t, batch: 0 });
                 if let Some(slot) = self.replica_slot[t] {
-                    self.sched.at(SimTime::ZERO + b, Event::SourceBatch { rt: slot, batch: 0 });
+                    self.sched
+                        .at(SimTime::ZERO + b, Event::SourceBatch { rt: slot, batch: 0 });
                 }
             }
         }
         // Heartbeat scans.
-        self.sched
-            .at(SimTime::ZERO + self.config.heartbeat_interval, Event::HeartbeatScan);
+        self.sched.at(
+            SimTime::ZERO + self.config.heartbeat_interval,
+            Event::HeartbeatScan,
+        );
         // Proxy ticks (only meaningful in PPA with tentative outputs).
         if self.config.tentative_outputs {
             self.sched.at(SimTime::ZERO + b, Event::ProxyTick);
@@ -329,8 +363,10 @@ impl Simulation {
                 let offset = SimDuration::from_micros(
                     (t as u64).wrapping_mul(2_654_435_761) % interval.as_micros().max(1),
                 );
-                self.sched
-                    .at(SimTime::ZERO + interval + offset, Event::Checkpoint { rt: t });
+                self.sched.at(
+                    SimTime::ZERO + interval + offset,
+                    Event::Checkpoint { rt: t },
+                );
             }
         }
         // Replica syncs.
@@ -347,7 +383,21 @@ impl Simulation {
         let at = spec.at;
         self.failures.push(spec);
         let idx = self.failures.len() - 1;
-        self.sched.at(at.max(self.sched.now()), Event::Failure { idx });
+        self.sched
+            .at(at.max(self.sched.now()), Event::Failure { idx });
+    }
+
+    /// Registers every event of a failure trace — the replay half of the
+    /// `ppa-faults` subsystem. A trace is just an ordered, normalized
+    /// sequence of [`FailureSpec`]-shaped events, so replaying the same
+    /// trace twice yields identical runs.
+    pub fn inject_trace(&mut self, trace: &FailureTrace) {
+        for event in trace.events() {
+            self.inject(FailureSpec {
+                at: event.at,
+                nodes: event.nodes.clone(),
+            });
+        }
     }
 
     /// Runs the simulation until virtual time `until` and returns the report.
@@ -359,7 +409,10 @@ impl Simulation {
         RunReport {
             recoveries: self.recoveries.clone(),
             sink: self.sink.clone(),
-            cpu: self.tasks[..self.graph.n_tasks()].iter().map(|t| t.cpu).collect(),
+            cpu: self.tasks[..self.graph.n_tasks()]
+                .iter()
+                .map(|t| t.cpu)
+                .collect(),
             throughput: self.tasks[..self.graph.n_tasks()]
                 .iter()
                 .map(|t| t.throughput)
@@ -381,6 +434,19 @@ impl Simulation {
         for f in failures {
             sim.inject(f);
         }
+        sim.run_until(SimTime::ZERO + duration)
+    }
+
+    /// Convenience: build, replay a failure trace, run.
+    pub fn run_trace(
+        query: &Query,
+        placement: Placement,
+        config: EngineConfig,
+        trace: &FailureTrace,
+        duration: SimDuration,
+    ) -> RunReport {
+        let mut sim = Simulation::new(query, placement, config);
+        sim.inject_trace(trace);
         sim.run_until(SimTime::ZERO + duration)
     }
 
@@ -409,9 +475,12 @@ impl Simulation {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::SourceBatch { rt, batch } => self.on_source_batch(rt, batch),
-            Event::Deliver { to, substream, batch, msg } => {
-                self.on_deliver(to, substream, batch, msg)
-            }
+            Event::Deliver {
+                to,
+                substream,
+                batch,
+                msg,
+            } => self.on_deliver(to, substream, batch, msg),
             Event::Checkpoint { rt } => self.on_checkpoint(rt),
             Event::ReplicaSync => self.on_replica_sync(),
             Event::HeartbeatScan => self.on_heartbeat(),
@@ -429,7 +498,13 @@ impl Simulation {
     fn on_source_batch(&mut self, rt: Rt, batch: u64) {
         // Always keep the cadence going; a dead source skips generation.
         let next_at = self.sched.now() + self.config.batch_interval;
-        self.sched.at(next_at, Event::SourceBatch { rt, batch: batch + 1 });
+        self.sched.at(
+            next_at,
+            Event::SourceBatch {
+                rt,
+                batch: batch + 1,
+            },
+        );
 
         if self.tasks[rt].status != Status::Running {
             return;
@@ -439,7 +514,11 @@ impl Simulation {
 
     /// Generates one source batch; `regen` marks catch-up regeneration.
     fn generate_source_batch(&mut self, rt: Rt, batch: u64, regen: bool) {
-        let tuples = self.tasks[rt].source.as_mut().expect("source task").batch(batch);
+        let tuples = self.tasks[rt]
+            .source
+            .as_mut()
+            .expect("source task")
+            .batch(batch);
         let cost = if regen {
             self.config.costs.replay_per_tuple
         } else {
@@ -527,7 +606,11 @@ impl Simulation {
                 to: to.0,
                 substream,
                 batch,
-                msg: Msg::Data { tuples: tuples.clone(), degraded, replay_for },
+                msg: Msg::Data {
+                    tuples: tuples.clone(),
+                    degraded,
+                    replay_for,
+                },
             },
         );
         if let Some(slot) = self.replica_slot[to.0] {
@@ -537,7 +620,11 @@ impl Simulation {
                     to: slot,
                     substream,
                     batch,
-                    msg: Msg::Data { tuples, degraded, replay_for },
+                    msg: Msg::Data {
+                        tuples,
+                        degraded,
+                        replay_for,
+                    },
                 },
             );
         }
@@ -559,7 +646,11 @@ impl Simulation {
                 let c = &mut self.tasks[to].closed[substream];
                 *c = (*c).max(batch + 1);
             }
-            Msg::Data { tuples, degraded, replay_for } => {
+            Msg::Data {
+                tuples,
+                degraded,
+                replay_for,
+            } => {
                 // Storm replay forwarding: a hop that already processed this
                 // batch recharges reprocessing CPU and forwards its own
                 // buffered output toward the recovering task.
@@ -842,8 +933,7 @@ impl Simulation {
 
         // Upstream buffer trimming: everything this checkpoint covers can be
         // dropped from the buffers feeding this task (§V-B).
-        let upstreams: Vec<TaskIndex> =
-            self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
+        let upstreams: Vec<TaskIndex> = self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
         for u in upstreams {
             self.trim_buffers_for(u.0, logical, ack_batch);
             if let Some(slot) = self.replica_slot[u.0] {
@@ -874,9 +964,12 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_replica_sync(&mut self) {
-        self.sched.after(self.config.replica_sync_interval, Event::ReplicaSync);
+        self.sched
+            .after(self.config.replica_sync_interval, Event::ReplicaSync);
         for t in 0..self.graph.n_tasks() {
-            let Some(slot) = self.replica_slot[t] else { continue };
+            let Some(slot) = self.replica_slot[t] else {
+                continue;
+            };
             if self.tasks[t].status != Status::Running
                 || self.tasks[slot].status != Status::Running
                 || self.tasks[slot].outputs_enabled
@@ -939,13 +1032,16 @@ impl Simulation {
     }
 
     fn on_heartbeat(&mut self) {
-        self.sched.after(self.config.heartbeat_interval, Event::HeartbeatScan);
+        self.sched
+            .after(self.config.heartbeat_interval, Event::HeartbeatScan);
         let now = self.sched.now();
         for t in 0..self.graph.n_tasks() {
             if self.tasks[t].status != Status::Dead {
                 continue;
             }
-            let Some(ri) = self.recovery_of[t] else { continue };
+            let Some(ri) = self.recovery_of[t] else {
+                continue;
+            };
             if self.recoveries[ri].detected_at != SimTime::MAX {
                 continue; // already handled
             }
@@ -1071,14 +1167,18 @@ impl Simulation {
         // restore cursor; dead upstreams will re-serve on their own restore.
         let logical = self.tasks[rt].logical;
         let cursor = self.tasks[rt].next_batch;
-        let upstreams: Vec<TaskIndex> =
-            self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
+        let upstreams: Vec<TaskIndex> = self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
         for u in upstreams {
             let sender = self.active_slot(u.0);
             if self.tasks[sender].status == Status::Running
                 || self.tasks[sender].status == Status::CatchingUp
             {
-                self.resend_buffered(sender, logical, cursor, now + self.config.costs.network_latency);
+                self.resend_buffered(
+                    sender,
+                    logical,
+                    cursor,
+                    now + self.config.costs.network_latency,
+                );
             }
         }
         self.try_process(rt);
@@ -1207,7 +1307,9 @@ impl Simulation {
     }
 
     fn on_takeover_done(&mut self, logical: usize) {
-        let Some(slot) = self.replica_slot[logical] else { return };
+        let Some(slot) = self.replica_slot[logical] else {
+            return;
+        };
         if self.tasks[slot].status != Status::Running {
             return; // replica died in the meantime
         }
@@ -1218,7 +1320,8 @@ impl Simulation {
         // primary stopped recording.
         let cut = self.tasks[logical].pre_failure_progress.unwrap_or(0);
         let pending = std::mem::take(&mut self.tasks[slot].pending_sink);
-        self.sink.extend(pending.into_iter().filter(|s| s.batch >= cut));
+        self.sink
+            .extend(pending.into_iter().filter(|s| s.batch >= cut));
         if let Some(ri) = self.recovery_of[logical] {
             self.recoveries[ri].via_replica = true;
             if self.recoveries[ri].recovered_at.is_none() {
@@ -1232,7 +1335,8 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_proxy_tick(&mut self) {
-        self.sched.after(self.config.batch_interval, Event::ProxyTick);
+        self.sched
+            .after(self.config.batch_interval, Event::ProxyTick);
         if !matches!(self.config.mode, FtMode::Ppa { .. }) {
             return;
         }
@@ -1249,7 +1353,9 @@ impl Simulation {
                     continue; // replica continues the stream
                 }
             }
-            let Some(ri) = self.recovery_of[t] else { continue };
+            let Some(ri) = self.recovery_of[t] else {
+                continue;
+            };
             if self.recoveries[ri].detected_at == SimTime::MAX
                 || self.recoveries[ri].recovered_at.is_some()
             {
@@ -1263,12 +1369,22 @@ impl Simulation {
             for (to, substream) in targets {
                 self.sched.at(
                     at,
-                    Event::Deliver { to: to.0, substream, batch: frontier, msg: Msg::Proxy },
+                    Event::Deliver {
+                        to: to.0,
+                        substream,
+                        batch: frontier,
+                        msg: Msg::Proxy,
+                    },
                 );
                 if let Some(slot) = self.replica_slot[to.0] {
                     self.sched.at(
                         at,
-                        Event::Deliver { to: slot, substream, batch: frontier, msg: Msg::Proxy },
+                        Event::Deliver {
+                            to: slot,
+                            substream,
+                            batch: frontier,
+                            msg: Msg::Proxy,
+                        },
                     );
                 }
             }
@@ -1296,9 +1412,8 @@ impl Simulation {
 /// borrow checker inside `restore_from_checkpoint`.
 trait CheckpointParts {
     #[allow(clippy::type_complexity)]
-    fn clone_parts(
-        &self,
-    ) -> Option<(u64, Option<Box<dyn Udf>>, Vec<VecDeque<Buffered>>, Vec<u64>)>;
+    fn clone_parts(&self)
+        -> Option<(u64, Option<Box<dyn Udf>>, Vec<VecDeque<Buffered>>, Vec<u64>)>;
 }
 
 impl CheckpointParts for Option<Checkpoint> {

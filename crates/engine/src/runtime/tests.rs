@@ -20,7 +20,10 @@ struct WindowedPass {
 
 impl WindowedPass {
     fn new(window_batches: u64) -> Self {
-        WindowedPass { window_batches, buf: WindowBuffer::new() }
+        WindowedPass {
+            window_batches,
+            buf: WindowBuffer::new(),
+        }
     }
 }
 
@@ -46,9 +49,16 @@ impl Udf for WindowedPass {
 /// source(2 tasks) -> mid(2, one-to-one) -> sink(1, merge).
 fn chain_query(per_batch: usize, window_batches: u64) -> Query {
     let mut q = QueryBuilder::new();
-    let s = q.add_source(OperatorSpec::source("src", 2, per_batch as f64), move |task| {
-        Box::new(CountingSource { per_batch, seed: 1000 + task as u64, key_space: 256 })
-    });
+    let s = q.add_source(
+        OperatorSpec::source("src", 2, per_batch as f64),
+        move |task| {
+            Box::new(CountingSource {
+                per_batch,
+                seed: 1000 + task as u64,
+                key_space: 256,
+            })
+        },
+    );
     let m = q.add_operator(OperatorSpec::map("mid", 2, 1.0), move |_| {
         Box::new(WindowedPass::new(window_batches))
     });
@@ -67,7 +77,10 @@ fn one_task_per_node(q: &Query) -> Placement {
 }
 
 fn base_config(mode: FtMode) -> EngineConfig {
-    EngineConfig { mode, ..EngineConfig::default() }
+    EngineConfig {
+        mode,
+        ..EngineConfig::default()
+    }
 }
 
 /// Node hosting the primary of task `t` under one-task-per-node placement.
@@ -100,14 +113,20 @@ fn data_flows_to_the_sink() {
 #[test]
 fn runs_are_deterministic() {
     let digest = |rep: &RunReport| -> Vec<(u64, usize, bool)> {
-        rep.sink.iter().map(|s| (s.batch, s.tuples.len(), s.tentative)).collect()
+        rep.sink
+            .iter()
+            .map(|s| (s.batch, s.tuples.len(), s.tentative))
+            .collect()
     };
     let q = chain_query(50, 5);
     let a = Simulation::run(
         &q,
         one_task_per_node(&q),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
-        vec![FailureSpec { at: SimTime::from_secs(12), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(12),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(40),
     );
     let q2 = chain_query(50, 5);
@@ -115,7 +134,10 @@ fn runs_are_deterministic() {
         &q2,
         one_task_per_node(&q2),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
-        vec![FailureSpec { at: SimTime::from_secs(12), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(12),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(40),
     );
     assert_eq!(digest(&a), digest(&b));
@@ -130,7 +152,10 @@ fn checkpoint_recovery_restores_progress() {
         &q,
         one_task_per_node(&q),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
-        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(60),
     );
     assert_eq!(report.recoveries.len(), 1);
@@ -163,13 +188,19 @@ fn tentative_outputs_flow_during_recovery() {
         &q,
         one_task_per_node(&q),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
-        vec![FailureSpec { at: SimTime::from_secs(21), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(21),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(80),
     );
     // Between detection and recovery the sink keeps producing, flagged
     // tentative and with only half the data (one mid lost).
     let tentative: Vec<_> = report.sink.iter().filter(|s| s.tentative).collect();
-    assert!(!tentative.is_empty(), "proxy punctuations must unblock the sink");
+    assert!(
+        !tentative.is_empty(),
+        "proxy punctuations must unblock the sink"
+    );
     for s in &tentative {
         assert_eq!(s.tuples.len(), 100, "half the input is missing");
     }
@@ -191,7 +222,10 @@ fn no_tentative_outputs_when_disabled() {
         &q,
         one_task_per_node(&q),
         config,
-        vec![FailureSpec { at: SimTime::from_secs(21), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(21),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(80),
     );
     assert!(report.sink.iter().all(|s| !s.tentative));
@@ -208,7 +242,10 @@ fn replica_takeover_is_fast() {
         &q,
         one_task_per_node(&q),
         base_config(FtMode::active(n)),
-        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(40),
     );
     let r = &report.recoveries[0];
@@ -236,7 +273,10 @@ fn active_beats_checkpoint_on_latency() {
         &q,
         one_task_per_node(&q),
         base_config(FtMode::active(5)),
-        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(60),
     );
     let q2 = chain_query(100, 10);
@@ -244,7 +284,10 @@ fn active_beats_checkpoint_on_latency() {
         &q2,
         one_task_per_node(&q2),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
-        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(2)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(60),
     );
     let a = active.recoveries[0].latency().unwrap();
@@ -260,7 +303,10 @@ fn longer_checkpoint_interval_slows_recovery() {
             &q,
             one_task_per_node(&q),
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(interval))),
-            vec![FailureSpec { at: SimTime::from_secs(33), nodes: vec![node_of(2)] }],
+            vec![FailureSpec {
+                at: SimTime::from_secs(33),
+                nodes: vec![node_of(2)],
+            }],
             SimDuration::from_secs(120),
         );
         rep.recoveries[0].latency().expect("recovers")
@@ -289,7 +335,10 @@ fn checkpoint_cpu_ratio_grows_with_frequency() {
     };
     let frequent = ratio(1);
     let rare = ratio(15);
-    assert!(frequent > rare, "1s interval ({frequent}) must cost more than 15s ({rare})");
+    assert!(
+        frequent > rare,
+        "1s interval ({frequent}) must cost more than 15s ({rare})"
+    );
     assert!(frequent > 0.0 && rare > 0.0);
 }
 
@@ -299,8 +348,13 @@ fn storm_source_replay_recovers() {
     let report = Simulation::run(
         &q,
         one_task_per_node(&q),
-        base_config(FtMode::SourceReplay { buffer: SimDuration::from_secs(10) }),
-        vec![FailureSpec { at: SimTime::from_secs(22), nodes: vec![node_of(2)] }],
+        base_config(FtMode::SourceReplay {
+            buffer: SimDuration::from_secs(10),
+        }),
+        vec![FailureSpec {
+            at: SimTime::from_secs(22),
+            nodes: vec![node_of(2)],
+        }],
         SimDuration::from_secs(80),
     );
     let r = &report.recoveries[0];
@@ -324,13 +378,21 @@ fn storm_replay_reaches_deep_tasks_through_hops() {
     let report = Simulation::run(
         &q,
         one_task_per_node(&q),
-        base_config(FtMode::SourceReplay { buffer: SimDuration::from_secs(10) }),
-        vec![FailureSpec { at: SimTime::from_secs(22), nodes: vec![node_of(4)] }],
+        base_config(FtMode::SourceReplay {
+            buffer: SimDuration::from_secs(10),
+        }),
+        vec![FailureSpec {
+            at: SimTime::from_secs(22),
+            nodes: vec![node_of(4)],
+        }],
         SimDuration::from_secs(80),
     );
     let r = &report.recoveries[0];
     assert_eq!(r.task, TaskIndex(4));
-    assert!(r.recovered_at.is_some(), "deep task must recover via hop forwarding");
+    assert!(
+        r.recovered_at.is_some(),
+        "deep task must recover via hop forwarding"
+    );
 }
 
 #[test]
@@ -365,14 +427,17 @@ fn correlated_failure_recovers_all_tasks() {
 }
 
 #[test]
-fn correlated_recovery_is_slower_than_single(){
+fn correlated_recovery_is_slower_than_single() {
     let single = {
         let q = chain_query(100, 10);
         Simulation::run(
             &q,
             one_task_per_node(&q),
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
-            vec![FailureSpec { at: SimTime::from_secs(33), nodes: vec![node_of(2)] }],
+            vec![FailureSpec {
+                at: SimTime::from_secs(33),
+                nodes: vec![node_of(2)],
+            }],
             SimDuration::from_secs(150),
         )
     };
@@ -434,7 +499,10 @@ fn failed_source_recovers_by_regeneration() {
         &q,
         one_task_per_node(&q),
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
-        vec![FailureSpec { at: SimTime::from_secs(14), nodes: vec![node_of(0)] }],
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(0)],
+        }],
         SimDuration::from_secs(60),
     );
     let r = &report.recoveries[0];
@@ -491,6 +559,58 @@ fn delta_checkpoints_cut_checkpoint_cpu() {
         "delta checkpoints must slash the 1s-interval cost: {delta} vs {full}"
     );
     assert!(delta > 0.0);
+}
+
+#[test]
+fn trace_replay_matches_spec_injection() {
+    // Replaying a FailureTrace through inject_trace must be observably
+    // identical to injecting the equivalent FailureSpecs by hand — the
+    // degenerate-trace refactor of the §VI-A experiments rests on this.
+    let digest = |rep: &RunReport| {
+        (
+            rep.events,
+            rep.sink
+                .iter()
+                .map(|s| (s.batch, s.tuples.len(), s.tentative))
+                .collect::<Vec<_>>(),
+            rep.recoveries
+                .iter()
+                .map(|r| (r.task, r.detected_at, r.recovered_at))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let q = chain_query(100, 5);
+    let mode = || FtMode::Ppa {
+        plan: TaskSet::empty(5),
+        checkpoint_interval: Some(SimDuration::from_secs(5)),
+    };
+    let specs = Simulation::run(
+        &q,
+        one_task_per_node(&q),
+        base_config(mode()),
+        vec![
+            FailureSpec {
+                at: SimTime::from_secs(14),
+                nodes: vec![node_of(2)],
+            },
+            FailureSpec {
+                at: SimTime::from_secs(20),
+                nodes: vec![node_of(3)],
+            },
+        ],
+        SimDuration::from_secs(60),
+    );
+    let mut trace = FailureTrace::new();
+    trace.push(SimTime::from_secs(20), vec![node_of(3)]);
+    trace.push(SimTime::from_secs(14), vec![node_of(2)]);
+    let traced = Simulation::run_trace(
+        &q,
+        one_task_per_node(&q),
+        base_config(mode()),
+        &trace,
+        SimDuration::from_secs(60),
+    );
+    assert_eq!(digest(&specs), digest(&traced));
 }
 
 #[test]

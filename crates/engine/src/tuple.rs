@@ -72,7 +72,10 @@ impl Tuple {
 
     /// A key-only tuple.
     pub fn key_only(key: Key) -> Self {
-        Tuple { key, value: Value::Empty }
+        Tuple {
+            key,
+            value: Value::Empty,
+        }
     }
 }
 

@@ -104,9 +104,8 @@ impl SourceGen for CountingSource {
     fn batch(&mut self, batch: u64) -> Vec<Tuple> {
         (0..self.per_batch)
             .map(|i| {
-                let h = crate::tuple::hash_key(
-                    self.seed ^ batch.wrapping_mul(0x9E37_79B9) ^ i as u64,
-                );
+                let h =
+                    crate::tuple::hash_key(self.seed ^ batch.wrapping_mul(0x9E37_79B9) ^ i as u64);
                 Tuple::key_only(h % self.key_space)
             })
             .collect()
@@ -165,22 +164,48 @@ mod tests {
     #[test]
     fn map_udf_filters_and_transforms() {
         let mut udf = MapUdf::new(|t: &Tuple| {
-            t.key.is_multiple_of(2).then(|| Tuple::new(t.key, Value::Int(1)))
+            t.key
+                .is_multiple_of(2)
+                .then(|| Tuple::new(t.key, Value::Int(1)))
         });
         let tuples: Vec<Tuple> = (0..6).map(Tuple::key_only).collect();
         let mut out = Vec::new();
-        let ctx = BatchCtx { batch: 0, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
-        udf.on_batch(&ctx, &[InputBatch { stream: 0, tuples: &tuples }], &mut out);
+        let ctx = BatchCtx {
+            batch: 0,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
+        udf.on_batch(
+            &ctx,
+            &[InputBatch {
+                stream: 0,
+                tuples: &tuples,
+            }],
+            &mut out,
+        );
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|t| t.key % 2 == 0));
     }
 
     #[test]
     fn counting_source_is_deterministic_per_batch() {
-        let mut a = CountingSource { per_batch: 100, seed: 7, key_space: 50 };
-        let mut b = CountingSource { per_batch: 100, seed: 7, key_space: 50 };
+        let mut a = CountingSource {
+            per_batch: 100,
+            seed: 7,
+            key_space: 50,
+        };
+        let mut b = CountingSource {
+            per_batch: 100,
+            seed: 7,
+            key_space: 50,
+        };
         assert_eq!(a.batch(3), b.batch(3));
-        assert_ne!(a.batch(3), a.batch(4), "different batches yield different data");
+        assert_ne!(
+            a.batch(3),
+            a.batch(4),
+            "different batches yield different data"
+        );
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Cluster fault domains: the physical containment hierarchy along which
+//! failures correlate.
+//!
+//! A [`FaultDomainTree`] models a cluster as a rooted tree of *domains* —
+//! power zone → switch → rack → node, or any other stack of levels, at
+//! arbitrary depth. Engine nodes are assigned to leaf domains
+//! deterministically, so the same cluster description always yields the
+//! same node → domain mapping (the reproduction harness depends on this).
+//!
+//! Domains are what the generative failure processes in
+//! [`crate::process`] draw from: a *burst* kills (a fraction of) the nodes
+//! hosted under one domain, a *cascade* spreads from a domain to its
+//! siblings. The paper's §VI-A correlated failure — "all worker nodes die
+//! simultaneously" — is the degenerate tree whose root is the only domain.
+
+/// Identifier of a simulated cluster node. Mirrors `ppa_engine::NodeId`
+/// (this crate sits below the engine in the dependency order, so it
+/// re-declares the alias instead of importing it).
+pub type NodeId = usize;
+
+/// Index of a domain inside its [`FaultDomainTree`] (root = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub usize);
+
+/// One domain of the hierarchy.
+#[derive(Debug, Clone)]
+struct Domain {
+    /// Depth in the tree: root = 0.
+    level: usize,
+    parent: Option<DomainId>,
+    children: Vec<DomainId>,
+    /// Nodes assigned *directly* to this domain (leaves only).
+    nodes: Vec<NodeId>,
+}
+
+/// A rooted containment hierarchy of fault domains with engine nodes
+/// assigned to its leaves.
+///
+/// Construct with [`FaultDomainTree::regular`] (uniform fan-out per level)
+/// or [`FaultDomainTree::racks`] (the common single-level case), or grow an
+/// arbitrary shape with [`FaultDomainTree::new`] + [`FaultDomainTree::add_domain`]
+/// + [`FaultDomainTree::assign`].
+#[derive(Debug, Clone)]
+pub struct FaultDomainTree {
+    /// Human-readable name of each level, `level_names[0]` naming the root
+    /// (conventionally `"cluster"`). Levels deeper than the named ones
+    /// render as `"level<k>"`.
+    level_names: Vec<String>,
+    domains: Vec<Domain>,
+}
+
+impl FaultDomainTree {
+    /// An empty tree holding only the root domain.
+    pub fn new(level_names: &[&str]) -> Self {
+        let names = if level_names.is_empty() {
+            &["cluster"][..]
+        } else {
+            level_names
+        };
+        FaultDomainTree {
+            level_names: names.iter().map(|s| s.to_string()).collect(),
+            domains: vec![Domain {
+                level: 0,
+                parent: None,
+                children: Vec::new(),
+                nodes: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root domain (the whole cluster).
+    pub fn root(&self) -> DomainId {
+        DomainId(0)
+    }
+
+    /// Adds a child domain under `parent` and returns its id.
+    pub fn add_domain(&mut self, parent: DomainId) -> DomainId {
+        assert!(parent.0 < self.domains.len(), "unknown parent domain");
+        let id = DomainId(self.domains.len());
+        let level = self.domains[parent.0].level + 1;
+        self.domains.push(Domain {
+            level,
+            parent: Some(parent),
+            children: Vec::new(),
+            nodes: Vec::new(),
+        });
+        self.domains[parent.0].children.push(id);
+        id
+    }
+
+    /// Assigns a node to a domain (typically a leaf). A node may be
+    /// assigned at most once; assignment order is part of the cluster
+    /// description and therefore deterministic.
+    pub fn assign(&mut self, domain: DomainId, node: NodeId) {
+        assert!(domain.0 < self.domains.len(), "unknown domain");
+        assert!(
+            !self.domains.iter().any(|d| d.nodes.contains(&node)),
+            "node {node} assigned twice"
+        );
+        self.domains[domain.0].nodes.push(node);
+    }
+
+    /// A regular tree: `fanouts[k]` children under every level-`k` domain,
+    /// with `nodes` dealt round-robin across the resulting leaves. Level
+    /// `k + 1` is named `level_names[k + 1]` when provided.
+    ///
+    /// `regular(&["cluster", "rack"], &[4], nodes)` is 4 racks sharing the
+    /// nodes; `regular(&["cluster", "zone", "rack"], &[2, 3], nodes)` is
+    /// 2 power zones × 3 racks.
+    pub fn regular(level_names: &[&str], fanouts: &[usize], nodes: &[NodeId]) -> Self {
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        let mut tree = FaultDomainTree::new(level_names);
+        let mut frontier = vec![tree.root()];
+        for &fanout in fanouts {
+            let mut next = Vec::with_capacity(frontier.len() * fanout);
+            for &parent in &frontier {
+                for _ in 0..fanout {
+                    next.push(tree.add_domain(parent));
+                }
+            }
+            frontier = next;
+        }
+        for (i, &node) in nodes.iter().enumerate() {
+            let leaf = frontier[i % frontier.len()];
+            tree.assign(leaf, node);
+        }
+        tree
+    }
+
+    /// The common single-level case: `nodes` split into consecutive racks
+    /// of `rack_size` (the last rack may be smaller). Consecutive grouping
+    /// — not round-robin — so a rack burst kills a *contiguous* slice of
+    /// the node range, matching how real placements co-locate neighbours.
+    pub fn racks(nodes: &[NodeId], rack_size: usize) -> Self {
+        assert!(rack_size > 0, "rack size must be positive");
+        let mut tree = FaultDomainTree::new(&["cluster", "rack"]);
+        for chunk in nodes.chunks(rack_size) {
+            let rack = tree.add_domain(tree.root());
+            for &node in chunk {
+                tree.assign(rack, node);
+            }
+        }
+        tree
+    }
+
+    /// Number of domains, including the root.
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Depth of the deepest domain (root alone = 0).
+    pub fn depth(&self) -> usize {
+        self.domains.iter().map(|d| d.level).max().unwrap_or(0)
+    }
+
+    /// The name of a level (`"level<k>"` beyond the named prefix).
+    pub fn level_name(&self, level: usize) -> String {
+        self.level_names
+            .get(level)
+            .cloned()
+            .unwrap_or_else(|| format!("level{level}"))
+    }
+
+    /// The level of a domain.
+    pub fn level_of(&self, domain: DomainId) -> usize {
+        self.domains[domain.0].level
+    }
+
+    /// The parent of a domain (`None` for the root).
+    pub fn parent_of(&self, domain: DomainId) -> Option<DomainId> {
+        self.domains[domain.0].parent
+    }
+
+    /// All domains at `level`, in creation order.
+    pub fn domains_at_level(&self, level: usize) -> Vec<DomainId> {
+        (0..self.domains.len())
+            .filter(|&i| self.domains[i].level == level)
+            .map(DomainId)
+            .collect()
+    }
+
+    /// Every domain except the root, in creation order — the candidate
+    /// correlated-failure units.
+    pub fn proper_domains(&self) -> Vec<DomainId> {
+        (1..self.domains.len()).map(DomainId).collect()
+    }
+
+    /// The children of a domain, in creation order.
+    pub fn children_of(&self, domain: DomainId) -> Vec<DomainId> {
+        self.domains[domain.0].children.clone()
+    }
+
+    /// The siblings of a domain (same parent, excluding itself), in
+    /// creation order.
+    pub fn siblings_of(&self, domain: DomainId) -> Vec<DomainId> {
+        match self.domains[domain.0].parent {
+            None => Vec::new(),
+            Some(p) => self.domains[p.0]
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| c != domain)
+                .collect(),
+        }
+    }
+
+    /// All nodes hosted under a domain (its whole subtree), sorted.
+    pub fn nodes_under(&self, domain: DomainId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![domain];
+        while let Some(d) = stack.pop() {
+            out.extend_from_slice(&self.domains[d.0].nodes);
+            stack.extend_from_slice(&self.domains[d.0].children);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Every node assigned anywhere in the tree, sorted.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.nodes_under(self.root())
+    }
+
+    /// The deepest domain a node is assigned to, if any.
+    pub fn domain_of(&self, node: NodeId) -> Option<DomainId> {
+        (0..self.domains.len())
+            .find(|&i| self.domains[i].nodes.contains(&node))
+            .map(DomainId)
+    }
+
+    /// The ancestor of `node`'s domain at `level` (or the domain itself).
+    pub fn domain_of_at_level(&self, node: NodeId, level: usize) -> Option<DomainId> {
+        let mut d = self.domain_of(node)?;
+        while self.domains[d.0].level > level {
+            d = self.domains[d.0].parent?;
+        }
+        (self.domains[d.0].level == level).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_tree_shape_and_assignment() {
+        let nodes: Vec<NodeId> = (0..12).collect();
+        let t = FaultDomainTree::regular(&["cluster", "zone", "rack"], &[2, 3], &nodes);
+        assert_eq!(t.n_domains(), 1 + 2 + 6);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.domains_at_level(1).len(), 2);
+        assert_eq!(t.domains_at_level(2).len(), 6);
+        assert_eq!(t.all_nodes(), nodes);
+        // Round-robin: leaf k hosts nodes k, k+6.
+        let racks = t.domains_at_level(2);
+        assert_eq!(t.nodes_under(racks[0]), vec![0, 6]);
+        assert_eq!(t.nodes_under(racks[5]), vec![5, 11]);
+        // A zone hosts its three racks' nodes.
+        let zones = t.domains_at_level(1);
+        assert_eq!(t.nodes_under(zones[0]), vec![0, 1, 2, 6, 7, 8]);
+    }
+
+    #[test]
+    fn racks_group_consecutively() {
+        let nodes: Vec<NodeId> = (4..19).collect();
+        let t = FaultDomainTree::racks(&nodes, 4);
+        let racks = t.domains_at_level(1);
+        assert_eq!(racks.len(), 4, "15 nodes in racks of 4 = 4 racks");
+        assert_eq!(t.nodes_under(racks[0]), vec![4, 5, 6, 7]);
+        assert_eq!(
+            t.nodes_under(racks[3]),
+            vec![16, 17, 18],
+            "last rack is smaller"
+        );
+    }
+
+    #[test]
+    fn domain_lookup_and_siblings() {
+        let nodes: Vec<NodeId> = (0..8).collect();
+        let t = FaultDomainTree::regular(&["cluster", "zone", "rack"], &[2, 2], &nodes);
+        let rack = t.domain_of(0).unwrap();
+        assert_eq!(t.level_of(rack), 2);
+        assert_eq!(t.siblings_of(rack).len(), 1, "one sibling rack in the zone");
+        let zone = t.domain_of_at_level(0, 1).unwrap();
+        assert_eq!(t.level_of(zone), 1);
+        assert!(t.nodes_under(zone).contains(&0));
+        assert!(t.siblings_of(t.root()).is_empty());
+        assert_eq!(t.domain_of(99), None);
+    }
+
+    #[test]
+    fn level_names_fall_back() {
+        let t = FaultDomainTree::racks(&[0, 1], 1);
+        assert_eq!(t.level_name(0), "cluster");
+        assert_eq!(t.level_name(1), "rack");
+        assert_eq!(t.level_name(7), "level7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_assignment_panics() {
+        let mut t = FaultDomainTree::new(&["cluster"]);
+        let d = t.add_domain(t.root());
+        t.assign(d, 3);
+        t.assign(d, 3);
+    }
+}

@@ -26,7 +26,12 @@ struct EntryKey {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), slots: Vec::new(), free: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -47,7 +52,11 @@ impl<E> EventQueue<E> {
                 self.slots.len() - 1
             }
         };
-        let key = EntryKey { at, seq: self.seq, slot };
+        let key = EntryKey {
+            at,
+            seq: self.seq,
+            slot,
+        };
         self.seq += 1;
         self.heap.push(Reverse(key));
     }
@@ -88,7 +97,10 @@ pub struct Scheduler<E> {
 
 impl<E> Default for Scheduler<E> {
     fn default() -> Self {
-        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO }
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
     }
 }
 
@@ -104,7 +116,11 @@ impl<E> Scheduler<E> {
 
     /// Schedules an event at an absolute instant (must not be in the past).
     pub fn at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at.max(self.now), event);
     }
 
@@ -178,7 +194,11 @@ mod tests {
             }
             while q.pop().is_some() {}
         }
-        assert!(q.slots.len() <= 5, "slot pool must not grow: {}", q.slots.len());
+        assert!(
+            q.slots.len() <= 5,
+            "slot pool must not grow: {}",
+            q.slots.len()
+        );
     }
 
     #[test]

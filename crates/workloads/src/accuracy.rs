@@ -47,13 +47,17 @@ pub fn topk_accuracy(
 ) -> f64 {
     let mut per_batch = Vec::new();
     for b in from_batch..to_batch {
-        let sa: BTreeSet<u64> =
-            golden.sink_batches(b).flat_map(|s| topk_set(&s.tuples)).collect();
+        let sa: BTreeSet<u64> = golden
+            .sink_batches(b)
+            .flat_map(|s| topk_set(&s.tuples))
+            .collect();
         if sa.is_empty() {
             continue;
         }
-        let st: BTreeSet<u64> =
-            tentative.sink_batches(b).flat_map(|s| topk_set(&s.tuples)).collect();
+        let st: BTreeSet<u64> = tentative
+            .sink_batches(b)
+            .flat_map(|s| topk_set(&s.tuples))
+            .collect();
         per_batch.push(st.intersection(&sa).count() as f64 / sa.len() as f64);
     }
     if per_batch.is_empty() {
@@ -70,7 +74,9 @@ pub fn incident_accuracy(
     from_batch: u64,
     to_batch: u64,
 ) -> f64 {
-    sink_set_accuracy(golden, tentative, from_batch, to_batch, |s| jam_set(&s.tuples))
+    sink_set_accuracy(golden, tentative, from_batch, to_batch, |s| {
+        jam_set(&s.tuples)
+    })
 }
 
 #[cfg(test)]

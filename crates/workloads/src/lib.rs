@@ -21,9 +21,9 @@ pub mod worldcup;
 pub mod zipf;
 
 pub use accuracy::{incident_accuracy, sink_set_accuracy, topk_accuracy};
-pub use navigation::{NavigationConfig, q2_scenario};
-pub use synthetic::{Fig6Config, fig6_scenario};
-pub use worldcup::{Q1Config, q1_scenario};
+pub use navigation::{q2_scenario, NavigationConfig};
+pub use synthetic::{fig6_scenario, Fig6Config};
+pub use worldcup::{q1_scenario, Q1Config};
 
 use ppa_core::model::TaskGraph;
 use ppa_engine::{Placement, Query};
@@ -42,6 +42,16 @@ impl Scenario {
     /// The task graph of the scenario's query.
     pub fn graph(&self) -> TaskGraph {
         TaskGraph::new(self.query.topology().clone())
+    }
+
+    /// A fault-domain hierarchy over the scenario's worker nodes: the kill
+    /// set grouped into consecutive racks of `rack_size`. This is the
+    /// cluster description the `ppa-faults` generators (and the
+    /// `corr_sweep` experiment) draw bursts and cascades from; source and
+    /// standby nodes are left outside the tree, mirroring §VI-A where they
+    /// survive the correlated failure.
+    pub fn worker_fault_domains(&self, rack_size: usize) -> ppa_faults::FaultDomainTree {
+        ppa_faults::FaultDomainTree::racks(&self.worker_kill_set, rack_size)
     }
 }
 
@@ -81,6 +91,26 @@ mod tests {
     use super::*;
 
     #[test]
+    fn worker_fault_domains_cover_exactly_the_kill_set() {
+        let s = synthetic::fig6_scenario(&Fig6Config::default());
+        let tree = s.worker_fault_domains(4);
+        assert_eq!(
+            tree.all_nodes(),
+            s.worker_kill_set,
+            "racks partition the kill set"
+        );
+        assert_eq!(
+            tree.domains_at_level(1).len(),
+            4,
+            "15 workers in racks of 4"
+        );
+        // Source nodes are outside the hierarchy.
+        for t in s.graph().source_tasks() {
+            assert_eq!(tree.domain_of(s.placement.primary[t.0]), None);
+        }
+    }
+
+    #[test]
     fn dedicated_placement_isolates_sources() {
         let s = synthetic::fig6_scenario(&Fig6Config::default());
         let g = s.graph();
@@ -93,7 +123,10 @@ mod tests {
         for t in 0..g.n_tasks() {
             if !g.is_source_task(ppa_core::model::TaskIndex(t)) {
                 assert!(s.placement.primary[t] >= 4);
-                assert!(seen.insert(s.placement.primary[t]), "one synthetic task per node");
+                assert!(
+                    seen.insert(s.placement.primary[t]),
+                    "one synthetic task per node"
+                );
             }
         }
         assert_eq!(s.worker_kill_set.len(), 15);

@@ -141,8 +141,12 @@ struct LocationSource {
 
 impl SourceGen for LocationSource {
     fn batch(&mut self, batch: u64) -> Vec<Tuple> {
-        let slow: BTreeSet<usize> =
-            self.schedule.active_at(batch).into_iter().map(|(_, s)| s).collect();
+        let slow: BTreeSet<usize> = self
+            .schedule
+            .active_at(batch)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
         let mut out = Vec::with_capacity(self.per_batch);
         let mut i = 0u64;
         // Rejection-sample segments owned by this task; bounded retries keep
@@ -161,7 +165,11 @@ impl SourceGen for LocationSource {
             let user =
                 (uniform_hash(self.seed ^ 0xA11CE, self.task as u64, batch, i) * 100_000.0) as i64;
             let noise = uniform_hash(self.seed ^ 0x5EED, seg as u64, batch, i) * 10.0;
-            let speed = if slow.contains(&seg) { 8.0 + noise } else { 45.0 + noise };
+            let speed = if slow.contains(&seg) {
+                8.0 + noise
+            } else {
+                45.0 + noise
+            };
             out.push(Tuple::new(seg as u64, Value::Pair(user, speed as i64)));
             emitted += 1;
         }
@@ -262,7 +270,9 @@ struct DedupIncidents {
 
 impl DedupIncidents {
     fn new() -> Self {
-        DedupIncidents { seen: VecDeque::new() }
+        DedupIncidents {
+            seen: VecDeque::new(),
+        }
     }
 }
 
@@ -355,7 +365,9 @@ impl Udf for JamJoin {
             }
         }
         self.speeds.push_back((ctx.batch, batch_speeds));
-        let min_keep = ctx.batch.saturating_sub(self.window_batches.saturating_sub(1));
+        let min_keep = ctx
+            .batch
+            .saturating_sub(self.window_batches.saturating_sub(1));
         while self.speeds.front().is_some_and(|(b, _)| *b < min_keep) {
             self.speeds.pop_front();
         }
@@ -470,11 +482,14 @@ pub fn q2_query(cfg: &NavigationConfig) -> Query {
         OperatorSpec::map("O1-avg-speed", cfg.o1_tasks, seg_sel),
         |_| Box::new(AvgSpeed),
     );
-    let o2 = q.add_operator(
-        OperatorSpec::map("O2-dedup", cfg.o3_tasks, 0.2),
-        |_| Box::new(DedupIncidents::new()),
+    let o2 = q.add_operator(OperatorSpec::map("O2-dedup", cfg.o3_tasks, 0.2), |_| {
+        Box::new(DedupIncidents::new())
+    });
+    let (w, thr, dur) = (
+        cfg.speed_window_batches,
+        cfg.jam_threshold,
+        cfg.incident_duration_batches,
     );
-    let (w, thr, dur) = (cfg.speed_window_batches, cfg.jam_threshold, cfg.incident_duration_batches);
     let o3 = q.add_operator(
         OperatorSpec::join("O3-jam-join", cfg.o3_tasks, 0.5),
         move |_| Box::new(JamJoin::new(w, thr, dur)),
@@ -499,7 +514,11 @@ pub fn q2_scenario(cfg: &NavigationConfig) -> Scenario {
     let query = q2_query(cfg);
     let graph = ppa_core::model::TaskGraph::new(query.topology().clone());
     let (placement, worker_kill_set) = dedicated_placement(&graph);
-    Scenario { query, placement, worker_kill_set }
+    Scenario {
+        query,
+        placement,
+        worker_kill_set,
+    }
 }
 
 /// Extracts the detected jam set `(segment, incident)` from sink tuples.
@@ -540,7 +559,10 @@ mod tests {
             assert_eq!(*seg, s.segment_of(*id));
         }
         assert!(!s.starting_at(4).is_empty());
-        assert!(s.starting_at(5).is_empty(), "incidents start on even batches only");
+        assert!(
+            s.starting_at(5).is_empty(),
+            "incidents start on even batches only"
+        );
         assert_eq!(s.ids_in(0, 10), vec![0, 1, 2, 3, 4]);
     }
 
@@ -566,12 +588,18 @@ mod tests {
         let report = Simulation::run(
             &s.query,
             s.placement.clone(),
-            EngineConfig { mode: FtMode::None, ..Default::default() },
+            EngineConfig {
+                mode: FtMode::None,
+                ..Default::default()
+            },
             vec![],
             SimDuration::from_secs(30),
         );
-        let detected: BTreeSet<(u64, i64)> =
-            report.sink.iter().flat_map(|sb| jam_set(&sb.tuples)).collect();
+        let detected: BTreeSet<(u64, i64)> = report
+            .sink
+            .iter()
+            .flat_map(|sb| jam_set(&sb.tuples))
+            .collect();
         assert!(
             detected.len() >= 5,
             "jams must be detected in a healthy run: {detected:?}"
@@ -586,7 +614,10 @@ mod tests {
         let report = Simulation::run(
             &s.query,
             s.placement.clone(),
-            EngineConfig { mode: FtMode::None, ..Default::default() },
+            EngineConfig {
+                mode: FtMode::None,
+                ..Default::default()
+            },
             vec![],
             SimDuration::from_secs(30),
         );
@@ -605,7 +636,12 @@ mod tests {
     fn jam_join_requires_both_streams() {
         use ppa_sim::SimTime;
         let mut udf = JamJoin::new(3, 30.0, 10);
-        let ctx = |b| BatchCtx { batch: b, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        let ctx = |b| BatchCtx {
+            batch: b,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
         let mut out = Vec::new();
         // Incident without slow speed: no jam.
         let inc = vec![Tuple::new(7, Value::Int(1))];
@@ -613,8 +649,14 @@ mod tests {
         udf.on_batch(
             &ctx(0),
             &[
-                InputBatch { stream: 0, tuples: &fast },
-                InputBatch { stream: 1, tuples: &inc },
+                InputBatch {
+                    stream: 0,
+                    tuples: &fast,
+                },
+                InputBatch {
+                    stream: 1,
+                    tuples: &inc,
+                },
             ],
             &mut out,
         );
@@ -624,7 +666,16 @@ mod tests {
         for b in 1..4 {
             udf.on_batch(
                 &ctx(b),
-                &[InputBatch { stream: 0, tuples: &slow }, InputBatch { stream: 1, tuples: &[] }],
+                &[
+                    InputBatch {
+                        stream: 0,
+                        tuples: &slow,
+                    },
+                    InputBatch {
+                        stream: 1,
+                        tuples: &[],
+                    },
+                ],
                 &mut out,
             );
         }
@@ -636,10 +687,26 @@ mod tests {
     fn dedup_combines_reports() {
         use ppa_sim::SimTime;
         let mut udf = DedupIncidents::new();
-        let ctx = BatchCtx { batch: 0, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        let ctx = BatchCtx {
+            batch: 0,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
         let reports: Vec<Tuple> = (0..50).map(|_| Tuple::new(3, Value::Int(9))).collect();
         let mut out = Vec::new();
-        udf.on_batch(&ctx, &[InputBatch { stream: 0, tuples: &reports }], &mut out);
-        assert_eq!(out.len(), 1, "50 reports of one incident collapse to one event");
+        udf.on_batch(
+            &ctx,
+            &[InputBatch {
+                stream: 0,
+                tuples: &reports,
+            }],
+            &mut out,
+        );
+        assert_eq!(
+            out.len(),
+            1,
+            "50 reports of one incident collapse to one event"
+        );
     }
 }

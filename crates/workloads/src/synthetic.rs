@@ -45,7 +45,11 @@ pub struct SyntheticOp {
 
 impl SyntheticOp {
     pub fn new(window_batches: u64, selectivity: f64) -> Self {
-        SyntheticOp { window_batches, selectivity, buf: WindowBuffer::new() }
+        SyntheticOp {
+            window_batches,
+            selectivity,
+            buf: WindowBuffer::new(),
+        }
     }
 }
 
@@ -63,7 +67,10 @@ impl Udf for SyntheticOp {
             usize::MAX
         };
         out.extend(
-            all.iter().enumerate().filter(|(i, _)| i % keep_every == 0).map(|(_, t)| t.clone()),
+            all.iter()
+                .enumerate()
+                .filter(|(i, _)| i % keep_every == 0)
+                .map(|(_, t)| t.clone()),
         );
         self.buf.push(ctx.batch, all, self.window_batches);
     }
@@ -105,7 +112,12 @@ pub fn fig6_query(cfg: &Fig6Config) -> Query {
     let mut q = QueryBuilder::new();
     let src = q.add_source(
         OperatorSpec::source("source", 16, rate as f64),
-        move |task| Box::new(UniformSource { per_batch: rate, seed: seed ^ (task as u64) << 8 }),
+        move |task| {
+            Box::new(UniformSource {
+                per_batch: rate,
+                seed: seed ^ (task as u64) << 8,
+            })
+        },
     );
     let o1 = q.add_operator(OperatorSpec::map("O1", 8, sel), move |_| {
         Box::new(SyntheticOp::new(window_batches, sel))
@@ -132,7 +144,11 @@ pub fn fig6_scenario(cfg: &Fig6Config) -> Scenario {
     let query = fig6_query(cfg);
     let graph = ppa_core::model::TaskGraph::new(query.topology().clone());
     let (placement, worker_kill_set) = dedicated_placement(&graph);
-    Scenario { query, placement, worker_kill_set }
+    Scenario {
+        query,
+        placement,
+        worker_kill_set,
+    }
 }
 
 #[cfg(test)]
@@ -156,8 +172,20 @@ mod tests {
         let mut op = SyntheticOp::new(10, 0.5);
         let tuples: Vec<Tuple> = (0..100).map(Tuple::key_only).collect();
         let mut out = Vec::new();
-        let ctx = BatchCtx { batch: 0, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
-        op.on_batch(&ctx, &[InputBatch { stream: 0, tuples: &tuples }], &mut out);
+        let ctx = BatchCtx {
+            batch: 0,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
+        op.on_batch(
+            &ctx,
+            &[InputBatch {
+                stream: 0,
+                tuples: &tuples,
+            }],
+            &mut out,
+        );
         assert_eq!(out.len(), 50);
         assert_eq!(op.state_tuples(), 100);
     }
@@ -165,18 +193,34 @@ mod tests {
     #[test]
     fn synthetic_state_tracks_window_and_rate() {
         let mut op = SyntheticOp::new(3, 0.5);
-        let ctx = |b| BatchCtx { batch: b, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        let ctx = |b| BatchCtx {
+            batch: b,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
         for b in 0..10u64 {
             let tuples: Vec<Tuple> = (0..200).map(Tuple::key_only).collect();
             let mut out = Vec::new();
-            op.on_batch(&ctx(b), &[InputBatch { stream: 0, tuples: &tuples }], &mut out);
+            op.on_batch(
+                &ctx(b),
+                &[InputBatch {
+                    stream: 0,
+                    tuples: &tuples,
+                }],
+                &mut out,
+            );
         }
         assert_eq!(op.state_tuples(), 600, "window(3) × rate(200)");
     }
 
     #[test]
     fn fig6_runs_end_to_end() {
-        let cfg = Fig6Config { rate: 200, window: SimDuration::from_secs(10), ..Default::default() };
+        let cfg = Fig6Config {
+            rate: 200,
+            window: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let s = fig6_scenario(&cfg);
         let report = Simulation::run(
             &s.query,
@@ -196,7 +240,11 @@ mod tests {
 
     #[test]
     fn fig6_correlated_failure_recovers() {
-        let cfg = Fig6Config { rate: 200, window: SimDuration::from_secs(10), ..Default::default() };
+        let cfg = Fig6Config {
+            rate: 200,
+            window: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let s = fig6_scenario(&cfg);
         let report = Simulation::run(
             &s.query,
@@ -205,12 +253,19 @@ mod tests {
                 mode: FtMode::checkpoint(31, SimDuration::from_secs(5)),
                 ..EngineConfig::default()
             },
-            vec![FailureSpec { at: SimTime::from_secs(22), nodes: s.worker_kill_set.clone() }],
+            vec![FailureSpec {
+                at: SimTime::from_secs(22),
+                nodes: s.worker_kill_set.clone(),
+            }],
             SimDuration::from_secs(120),
         );
         assert_eq!(report.recoveries.len(), 15, "all synthetic tasks failed");
         for r in &report.recoveries {
-            assert!(r.recovered_at.is_some(), "task {:?} never recovered", r.task);
+            assert!(
+                r.recovered_at.is_some(),
+                "task {:?} never recovered",
+                r.task
+            );
         }
     }
 }

@@ -100,7 +100,11 @@ impl Udf for CountCombine {
                 *counts.entry(t.key).or_insert(0) += add;
             }
         }
-        out.extend(counts.into_iter().map(|(k, c)| Tuple::new(k, Value::Int(c))));
+        out.extend(
+            counts
+                .into_iter()
+                .map(|(k, c)| Tuple::new(k, Value::Int(c))),
+        );
     }
 
     fn snapshot(&self) -> Box<dyn Udf> {
@@ -122,7 +126,11 @@ struct TopK {
 
 impl TopK {
     fn new(k: usize, window_batches: u64) -> Self {
-        TopK { k, window_batches, window: Default::default() }
+        TopK {
+            k,
+            window_batches,
+            window: Default::default(),
+        }
     }
 }
 
@@ -135,7 +143,9 @@ impl Udf for TopK {
             }
         }
         self.window.push_back((ctx.batch, counts));
-        let min_keep = ctx.batch.saturating_sub(self.window_batches.saturating_sub(1));
+        let min_keep = ctx
+            .batch
+            .saturating_sub(self.window_batches.saturating_sub(1));
         while self.window.front().is_some_and(|(b, _)| *b < min_keep) {
             self.window.pop_front();
         }
@@ -163,7 +173,9 @@ impl Udf for TopK {
 
 /// Builds the Q1 query.
 pub fn q1_query(cfg: &Q1Config) -> Query {
-    assert!(cfg.src_tasks.is_multiple_of(cfg.o1_tasks) && cfg.o1_tasks.is_multiple_of(cfg.o2_tasks));
+    assert!(
+        cfg.src_tasks.is_multiple_of(cfg.o1_tasks) && cfg.o1_tasks.is_multiple_of(cfg.o2_tasks)
+    );
     let mut q = QueryBuilder::new();
     let objects_per_task = (cfg.n_objects / cfg.src_tasks).max(1);
     let zipf = Zipf::new(objects_per_task, cfg.zipf_s);
@@ -187,15 +199,13 @@ pub fn q1_query(cfg: &Q1Config) -> Query {
         OperatorSpec::map("O1-slice-count", cfg.o1_tasks, o1_sel),
         |_| Box::new(CountCombine),
     );
-    let o2 = q.add_operator(
-        OperatorSpec::map("O2-merge", cfg.o2_tasks, 1.0),
-        |_| Box::new(CountCombine),
-    );
+    let o2 = q.add_operator(OperatorSpec::map("O2-merge", cfg.o2_tasks, 1.0), |_| {
+        Box::new(CountCombine)
+    });
     let (k, w) = (cfg.k, cfg.window_batches);
-    let o3 = q.add_operator(
-        OperatorSpec::map("O3-top-k", 1, 0.01),
-        move |_| Box::new(TopK::new(k, w)),
-    );
+    let o3 = q.add_operator(OperatorSpec::map("O3-top-k", 1, 0.01), move |_| {
+        Box::new(TopK::new(k, w))
+    });
     let link = |a: usize, b: usize| {
         if a == b {
             Partitioning::OneToOne
@@ -203,7 +213,8 @@ pub fn q1_query(cfg: &Q1Config) -> Query {
             Partitioning::Merge
         }
     };
-    q.connect(src, o1, link(cfg.src_tasks, cfg.o1_tasks)).unwrap();
+    q.connect(src, o1, link(cfg.src_tasks, cfg.o1_tasks))
+        .unwrap();
     q.connect(o1, o2, link(cfg.o1_tasks, cfg.o2_tasks)).unwrap();
     q.connect(o2, o3, link(cfg.o2_tasks, 1)).unwrap();
     q.build().expect("q1 topology is valid")
@@ -214,7 +225,11 @@ pub fn q1_scenario(cfg: &Q1Config) -> Scenario {
     let query = q1_query(cfg);
     let graph = ppa_core::model::TaskGraph::new(query.topology().clone());
     let (placement, worker_kill_set) = dedicated_placement(&graph);
-    Scenario { query, placement, worker_kill_set }
+    Scenario {
+        query,
+        placement,
+        worker_kill_set,
+    }
 }
 
 /// Extracts the top-k set from a Q1 sink batch (the digest tuple).
@@ -260,7 +275,10 @@ mod tests {
         let report = Simulation::run(
             &s.query,
             s.placement.clone(),
-            EngineConfig { mode: FtMode::None, ..Default::default() },
+            EngineConfig {
+                mode: FtMode::None,
+                ..Default::default()
+            },
             vec![],
             SimDuration::from_secs(10),
         );
@@ -277,7 +295,10 @@ mod tests {
         let report = Simulation::run(
             &s.query,
             s.placement.clone(),
-            EngineConfig { mode: FtMode::None, ..Default::default() },
+            EngineConfig {
+                mode: FtMode::None,
+                ..Default::default()
+            },
             vec![],
             SimDuration::from_secs(10),
         );
@@ -291,15 +312,41 @@ mod tests {
     fn topk_udf_window_slides() {
         use ppa_sim::SimTime;
         let mut udf = TopK::new(3, 2);
-        let ctx = |b| BatchCtx { batch: b, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        let ctx = |b| BatchCtx {
+            batch: b,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
         let batch = |key: u64, n: i64| vec![Tuple::new(key, Value::Int(n))];
         let mut out = Vec::new();
-        udf.on_batch(&ctx(0), &[InputBatch { stream: 0, tuples: &batch(1, 10) }], &mut out);
+        udf.on_batch(
+            &ctx(0),
+            &[InputBatch {
+                stream: 0,
+                tuples: &batch(1, 10),
+            }],
+            &mut out,
+        );
         out.clear();
-        udf.on_batch(&ctx(1), &[InputBatch { stream: 0, tuples: &batch(2, 5) }], &mut out);
+        udf.on_batch(
+            &ctx(1),
+            &[InputBatch {
+                stream: 0,
+                tuples: &batch(2, 5),
+            }],
+            &mut out,
+        );
         out.clear();
         // Batch 2 evicts batch 0: object 1's count disappears.
-        udf.on_batch(&ctx(2), &[InputBatch { stream: 0, tuples: &batch(3, 1) }], &mut out);
+        udf.on_batch(
+            &ctx(2),
+            &[InputBatch {
+                stream: 0,
+                tuples: &batch(3, 1),
+            }],
+            &mut out,
+        );
         let set = topk_set(&out);
         assert_eq!(set, vec![2, 3], "object 1 fell out of the window");
     }
@@ -308,13 +355,27 @@ mod tests {
     fn count_combine_sums_partials() {
         use ppa_sim::SimTime;
         let mut udf = CountCombine;
-        let ctx = BatchCtx { batch: 0, now: SimTime::ZERO, task_local: 0, parallelism: 1 };
+        let ctx = BatchCtx {
+            batch: 0,
+            now: SimTime::ZERO,
+            task_local: 0,
+            parallelism: 1,
+        };
         let a = vec![Tuple::new(7, Value::Int(3)), Tuple::new(8, Value::Int(1))];
         let b = vec![Tuple::new(7, Value::Int(2))];
         let mut out = Vec::new();
         udf.on_batch(
             &ctx,
-            &[InputBatch { stream: 0, tuples: &a }, InputBatch { stream: 0, tuples: &b }],
+            &[
+                InputBatch {
+                    stream: 0,
+                    tuples: &a,
+                },
+                InputBatch {
+                    stream: 0,
+                    tuples: &b,
+                },
+            ],
             &mut out,
         );
         let seven = out.iter().find(|t| t.key == 7).unwrap();

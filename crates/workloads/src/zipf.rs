@@ -57,7 +57,8 @@ impl Zipf {
 /// this way so a batch's content is a pure function of its coordinates
 /// (required by [`ppa_engine::SourceGen`]'s determinism contract).
 pub fn uniform_hash(seed: u64, a: u64, b: u64, c: u64) -> f64 {
-    let mut z = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut z = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
         ^ c.wrapping_mul(0x1656_67B1_9E37_79F9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

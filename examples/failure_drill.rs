@@ -20,13 +20,27 @@ fn main() {
     let scenario = fig6_scenario(&cfg);
     let n = scenario.graph().n_tasks();
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
-    let half_plan = StructureAwarePlanner::default().plan(&cx, n / 2).unwrap().tasks;
+    let half_plan = StructureAwarePlanner::default()
+        .plan(&cx, n / 2)
+        .unwrap()
+        .tasks;
 
     let strategies: Vec<(&str, FtMode)> = vec![
         ("Active-5s", FtMode::active(n)),
-        ("PPA-0.5", FtMode::ppa(half_plan, SimDuration::from_secs(15))),
-        ("Checkpoint-15s", FtMode::checkpoint(n, SimDuration::from_secs(15))),
-        ("Storm", FtMode::SourceReplay { buffer: SimDuration::from_secs(35) }),
+        (
+            "PPA-0.5",
+            FtMode::ppa(half_plan, SimDuration::from_secs(15)),
+        ),
+        (
+            "Checkpoint-15s",
+            FtMode::checkpoint(n, SimDuration::from_secs(15)),
+        ),
+        (
+            "Storm",
+            FtMode::SourceReplay {
+                buffer: SimDuration::from_secs(35),
+            },
+        ),
     ];
 
     println!(
@@ -34,7 +48,10 @@ fn main() {
         "strategy", "mean (s)", "max (s)", "1st tentative (s)"
     );
     for (label, mode) in strategies {
-        let config = EngineConfig { mode, ..EngineConfig::default() };
+        let config = EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        };
         let report = Simulation::run(
             &scenario.query,
             scenario.placement.clone(),
@@ -62,7 +79,9 @@ fn main() {
             .fold(f64::NAN, f64::max);
         let tentative = report
             .first_tentative_after(detected)
-            .map_or("—".to_string(), |t| format!("{:.2}", t.since(detected).as_secs_f64()));
+            .map_or("—".to_string(), |t| {
+                format!("{:.2}", t.since(detected).as_secs_f64())
+            });
         println!("{label:>15} {mean:>12.2} {max:>12.2} {tentative:>16}");
     }
     println!(

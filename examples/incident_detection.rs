@@ -12,13 +12,10 @@ use ppa::core::planner::Objective;
 use ppa::core::{PlanContext, Planner, StructureAwarePlanner, TaskSet};
 use ppa::engine::{EngineConfig, FailureSpec, FtMode, Simulation};
 use ppa::sim::{SimDuration, SimTime};
-use ppa::workloads::navigation::{jam_set, q2_scenario, NavigationConfig};
 use ppa::workloads::incident_accuracy;
+use ppa::workloads::navigation::{jam_set, q2_scenario, NavigationConfig};
 
-fn run_with_plan(
-    scenario: &ppa::workloads::Scenario,
-    plan: &TaskSet,
-) -> ppa::engine::RunReport {
+fn run_with_plan(scenario: &ppa::workloads::Scenario, plan: &TaskSet) -> ppa::engine::RunReport {
     let config = EngineConfig {
         mode: FtMode::ppa(plan.clone(), SimDuration::from_secs(10)),
         passive_recovery: false, // hold the outage: steady tentative service
@@ -54,8 +51,12 @@ fn main() {
     let cx_ic = PlanContext::new(scenario.query.topology())
         .unwrap()
         .with_objective(Objective::InternalCompleteness);
-    let plan_of = StructureAwarePlanner::default().plan(&cx_of, budget).unwrap();
-    let plan_ic = StructureAwarePlanner::default().plan(&cx_ic, budget).unwrap();
+    let plan_of = StructureAwarePlanner::default()
+        .plan(&cx_of, budget)
+        .unwrap();
+    let plan_ic = StructureAwarePlanner::default()
+        .plan(&cx_ic, budget)
+        .unwrap();
     println!("budget {budget}/{n} tasks");
     println!(
         "OF-optimized plan: OF {:.2} (IC would score it {:.2})",
@@ -82,7 +83,10 @@ fn main() {
         .filter(|s| (35..65).contains(&s.batch))
         .flat_map(|s| jam_set(&s.tuples))
         .collect();
-    println!("\ngolden run detected {} jams in the observation window", golden_jams.len());
+    println!(
+        "\ngolden run detected {} jams in the observation window",
+        golden_jams.len()
+    );
 
     for (label, plan) in [("OF-plan", &plan_of.tasks), ("IC-plan", &plan_ic.tasks)] {
         let report = run_with_plan(&scenario, plan);

@@ -7,19 +7,23 @@
 
 use ppa::core::model::{OperatorSpec, Partitioning};
 use ppa::engine::udf::{CountingSource, MapUdf};
-use ppa::engine::{
-    EngineConfig, FailureSpec, FtMode, Placement, QueryBuilder, Simulation, Tuple,
-};
+use ppa::engine::{EngineConfig, FailureSpec, FtMode, Placement, QueryBuilder, Simulation, Tuple};
 use ppa::sim::{SimDuration, SimTime};
 
 fn main() {
     // 1. An executable query: 4 sources -> 2 filters -> 1 collector.
     let mut q = QueryBuilder::new();
     let sources = q.add_source(OperatorSpec::source("events", 4, 1_000.0), |task| {
-        Box::new(CountingSource { per_batch: 1_000, seed: 7 + task as u64, key_space: 4096 })
+        Box::new(CountingSource {
+            per_batch: 1_000,
+            seed: 7 + task as u64,
+            key_space: 4096,
+        })
     });
     let filters = q.add_operator(OperatorSpec::map("filter", 2, 0.5), |_| {
-        Box::new(MapUdf::new(|t: &Tuple| t.key.is_multiple_of(2).then(|| t.clone())))
+        Box::new(MapUdf::new(|t: &Tuple| {
+            t.key.is_multiple_of(2).then(|| t.clone())
+        }))
     });
     let collect = q.add_operator(OperatorSpec::map("collect", 1, 1.0), |_| {
         Box::new(MapUdf::new(|t: &Tuple| Some(t.clone())))
@@ -41,7 +45,10 @@ fn main() {
 
     // 4. Kill the node hosting the first filter task at t = 12 s.
     let filter_task = 4; // tasks 0..4 are the sources
-    let failure = FailureSpec { at: SimTime::from_secs(12), nodes: vec![filter_task] };
+    let failure = FailureSpec {
+        at: SimTime::from_secs(12),
+        nodes: vec![filter_task],
+    };
 
     let report = Simulation::run(
         &query,

@@ -9,8 +9,8 @@
 use ppa::core::{PlanContext, Planner, StructureAwarePlanner};
 use ppa::engine::{EngineConfig, FailureSpec, FtMode, Simulation};
 use ppa::sim::{SimDuration, SimTime};
-use ppa::workloads::worldcup::{q1_scenario, topk_set, Q1Config};
 use ppa::workloads::topk_accuracy;
+use ppa::workloads::worldcup::{q1_scenario, topk_set, Q1Config};
 
 fn main() {
     let cfg = Q1Config {
@@ -81,5 +81,8 @@ fn main() {
     }
 
     let acc = topk_accuracy(&golden, &report, 45, 58);
-    println!("\nsteady tentative top-{} accuracy: {acc:.2} (predicted OF {:.2})", cfg.k, plan.value);
+    println!(
+        "\nsteady tentative top-{} accuracy: {acc:.2} (predicted OF {:.2})",
+        cfg.k, plan.value
+    );
 }

@@ -2,9 +2,7 @@
 //! topologies (Fig. 6, Q1, Q2).
 
 use ppa::core::planner::Objective;
-use ppa::core::{
-    DpPlanner, GreedyPlanner, PlanContext, Planner, StructureAwarePlanner, TaskSet,
-};
+use ppa::core::{DpPlanner, GreedyPlanner, PlanContext, Planner, StructureAwarePlanner, TaskSet};
 use ppa::sim::SimDuration;
 use ppa::workloads::navigation::{q2_query, NavigationConfig};
 use ppa::workloads::synthetic::{fig6_query, Fig6Config};
@@ -23,7 +21,11 @@ fn fig6_cx() -> PlanContext {
 fn fig6_has_16_mc_trees_of_5_tasks() {
     let cx = fig6_cx();
     let trees = cx.mc_trees().unwrap();
-    assert_eq!(trees.len(), 16, "one tree per source task through the merge chain");
+    assert_eq!(
+        trees.len(),
+        16,
+        "one tree per source task through the merge chain"
+    );
     for tree in trees {
         assert_eq!(tree.len(), 5, "source + O1 + O2 + O3 + O4");
     }
@@ -108,7 +110,9 @@ fn q2_join_makes_of_and_ic_diverge() {
         .with_objective(Objective::InternalCompleteness);
     let mut max_gap = 0.0f64;
     for budget in [n / 3, n / 2, 2 * n / 3] {
-        let ic_plan = StructureAwarePlanner::default().plan(&cx_ic, budget).unwrap();
+        let ic_plan = StructureAwarePlanner::default()
+            .plan(&cx_ic, budget)
+            .unwrap();
         let of = cx.of_plan(&ic_plan.tasks);
         // IC never underestimates OF for the same plan...
         assert!(of <= ic_plan.value + 1e-9, "budget {budget}");
@@ -116,7 +120,10 @@ fn q2_join_makes_of_and_ic_diverge() {
     }
     // ...and at some budget the IC-optimized plan strands a join side, so
     // the gap is substantial (the Fig. 12(b) effect).
-    assert!(max_gap > 0.05, "IC and OF never diverged (max gap {max_gap})");
+    assert!(
+        max_gap > 0.05,
+        "IC and OF never diverged (max gap {max_gap})"
+    );
 }
 
 #[test]

@@ -18,8 +18,14 @@ fn run(scenario: &Scenario, mode: FtMode, kill: Vec<usize>) -> RunReport {
     Simulation::run(
         &scenario.query,
         scenario.placement.clone(),
-        EngineConfig { mode, ..EngineConfig::default() },
-        vec![FailureSpec { at: SimTime::from_secs(40), nodes: kill }],
+        EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        },
+        vec![FailureSpec {
+            at: SimTime::from_secs(40),
+            nodes: kill,
+        }],
         SimDuration::from_secs(140),
     )
 }
@@ -56,12 +62,17 @@ fn correlated_failure_strategy_ordering() {
 #[test]
 fn storm_recovery_grows_with_window() {
     let scenario_small = fig6_scenario(&cfg());
-    let big = Fig6Config { window: SimDuration::from_secs(30), ..cfg() };
+    let big = Fig6Config {
+        window: SimDuration::from_secs(30),
+        ..cfg()
+    };
     let scenario_big = fig6_scenario(&big);
     let storm = |s: &Scenario, w: u64| {
         mean_secs(&run(
             s,
-            FtMode::SourceReplay { buffer: SimDuration::from_secs(w + 5) },
+            FtMode::SourceReplay {
+                buffer: SimDuration::from_secs(w + 5),
+            },
             s.worker_kill_set.clone(),
         ))
     };
@@ -93,18 +104,27 @@ fn ppa_half_sits_between_full_and_zero() {
     let scenario = fig6_scenario(&c);
     let kill = scenario.worker_kill_set.clone();
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
-    let half = StructureAwarePlanner::default().plan(&cx, 16).unwrap().tasks;
+    let half = StructureAwarePlanner::default()
+        .plan(&cx, 16)
+        .unwrap()
+        .tasks;
     let interval = SimDuration::from_secs(15);
 
     let full = mean_secs(&run(
         &scenario,
-        FtMode::Ppa { plan: TaskSet::full(31), checkpoint_interval: Some(interval) },
+        FtMode::Ppa {
+            plan: TaskSet::full(31),
+            checkpoint_interval: Some(interval),
+        },
         kill.clone(),
     ));
     let half_lat = mean_secs(&run(&scenario, FtMode::ppa(half, interval), kill.clone()));
     let zero = mean_secs(&run(
         &scenario,
-        FtMode::Ppa { plan: TaskSet::empty(31), checkpoint_interval: Some(interval) },
+        FtMode::Ppa {
+            plan: TaskSet::empty(31),
+            checkpoint_interval: Some(interval),
+        },
         kill,
     ));
     assert!(full < half_lat, "PPA-1.0 {full} < PPA-0.5 {half_lat}");
@@ -113,16 +133,27 @@ fn ppa_half_sits_between_full_and_zero() {
 
 #[test]
 fn tentative_output_long_before_full_recovery() {
-    let c = Fig6Config { window: SimDuration::from_secs(30), ..cfg() };
+    let c = Fig6Config {
+        window: SimDuration::from_secs(30),
+        ..cfg()
+    };
     let scenario = fig6_scenario(&c);
     let cx = PlanContext::new(scenario.query.topology()).unwrap();
-    let half = StructureAwarePlanner::default().plan(&cx, 16).unwrap().tasks;
+    let half = StructureAwarePlanner::default()
+        .plan(&cx, 16)
+        .unwrap()
+        .tasks;
     let report = run(
         &scenario,
         FtMode::ppa(half, SimDuration::from_secs(30)),
         scenario.worker_kill_set.clone(),
     );
-    let detected = report.recoveries.iter().map(|r| r.detected_at).min().unwrap();
+    let detected = report
+        .recoveries
+        .iter()
+        .map(|r| r.detected_at)
+        .min()
+        .unwrap();
     let first_tentative = report
         .first_tentative_after(detected)
         .expect("tentative outputs must flow");
@@ -145,7 +176,12 @@ fn detection_happens_on_heartbeat_boundaries() {
     );
     for r in &report.recoveries {
         let at = r.detected_at.as_micros();
-        assert_eq!(at % 5_000_000, 0, "detection on a 5s heartbeat scan, got {}", r.detected_at);
+        assert_eq!(
+            at % 5_000_000,
+            0,
+            "detection on a 5s heartbeat scan, got {}",
+            r.detected_at
+        );
         assert!(r.detected_at >= r.failed_at);
         assert!(
             r.detected_at.since(r.failed_at) <= SimDuration::from_secs(5),
@@ -188,7 +224,10 @@ fn engine_runs_are_reproducible_across_processes() {
     let b = build();
     assert_eq!(a.events, b.events);
     let digest = |r: &RunReport| -> Vec<(u64, usize, bool)> {
-        r.sink.iter().map(|s| (s.batch, s.tuples.len(), s.tentative)).collect()
+        r.sink
+            .iter()
+            .map(|s| (s.batch, s.tuples.len(), s.tentative))
+            .collect()
     };
     assert_eq!(digest(&a), digest(&b));
 }

@@ -2,10 +2,10 @@
 //! increasing measured tentative accuracy on Q1 and Q2, and the OF metric
 //! must predict it better than IC does on the join query.
 
-use ppa_bench::experiments::fig12::{AccuracyHarness, QueryKind};
-use ppa_bench::RunCtx;
 use ppa::core::planner::Objective;
 use ppa::core::{Planner, StructureAwarePlanner, TaskSet};
+use ppa_bench::experiments::fig12::{AccuracyHarness, QueryKind};
+use ppa_bench::RunCtx;
 
 #[test]
 fn q1_accuracy_tracks_of_and_grows_with_budget() {
@@ -43,7 +43,10 @@ fn q1_full_plan_is_nearly_perfect() {
     let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q1, true);
     let n = harness.scenario.graph().n_tasks();
     let acc = harness.measure(&TaskSet::full(n));
-    assert!(acc > 0.9, "full replication keeps the top-k intact, got {acc}");
+    assert!(
+        acc > 0.9,
+        "full replication keeps the top-k intact, got {acc}"
+    );
 }
 
 #[test]
@@ -52,8 +55,12 @@ fn q2_of_plan_beats_ic_plan_in_reality() {
     let cx_of = harness.context(Objective::OutputFidelity);
     let cx_ic = harness.context(Objective::InternalCompleteness);
     let budget = harness.budget(0.6);
-    let plan_of = StructureAwarePlanner::default().plan(&cx_of, budget).unwrap();
-    let plan_ic = StructureAwarePlanner::default().plan(&cx_ic, budget).unwrap();
+    let plan_of = StructureAwarePlanner::default()
+        .plan(&cx_of, budget)
+        .unwrap();
+    let plan_ic = StructureAwarePlanner::default()
+        .plan(&cx_ic, budget)
+        .unwrap();
     let acc_of = harness.measure(&plan_of.tasks);
     let acc_ic = harness.measure(&plan_ic.tasks);
     assert!(
@@ -73,7 +80,10 @@ fn q2_full_plan_detects_all_jams() {
     let harness = AccuracyHarness::new(&RunCtx::serial(true), QueryKind::Q2, true);
     let n = harness.scenario.graph().n_tasks();
     let acc = harness.measure(&TaskSet::full(n));
-    assert!(acc > 0.95, "full replication must keep detecting jams, got {acc}");
+    assert!(
+        acc > 0.95,
+        "full replication must keep detecting jams, got {acc}"
+    );
 }
 
 #[test]
@@ -81,7 +91,17 @@ fn experiments_registry_is_complete() {
     let ids: Vec<&str> = ppa_bench::registry().iter().map(|e| e.id).collect();
     assert_eq!(
         ids,
-        vec!["fig07", "fig08", "fig09", "fig10", "fig12", "fig13", "fig14", "tentative"]
+        vec![
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig12",
+            "fig13",
+            "fig14",
+            "tentative",
+            "corr_sweep"
+        ]
     );
 }
 

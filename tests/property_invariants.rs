@@ -9,8 +9,8 @@
 
 use ppa::core::model::TaskIndex;
 use ppa::core::{
-    GreedyPlanner, PlanContext, Planner, RandomTopologySpec, Skew, StructureAwarePlanner,
-    TaskSet, TopologyStyle,
+    GreedyPlanner, PlanContext, Planner, RandomTopologySpec, Skew, StructureAwarePlanner, TaskSet,
+    TopologyStyle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +27,9 @@ fn cases() -> Vec<(RandomTopologySpec, u64)> {
                     for style in [
                         TopologyStyle::Structured,
                         TopologyStyle::Full,
-                        TopologyStyle::Mixed { full_probability: 0.3 },
+                        TopologyStyle::Mixed {
+                            full_probability: 0.3,
+                        },
                     ] {
                         case_seed = case_seed
                             .wrapping_mul(0x5851_F42D_4C95_7F2D)
@@ -58,18 +60,29 @@ fn fidelity_is_bounded_and_boundary_exact() {
         let topo = spec.generate(&mut StdRng::seed_from_u64(seed));
         let cx = PlanContext::new(&topo).unwrap();
         let n = cx.n_tasks();
-        assert!((cx.of_plan(&TaskSet::full(n)) - 1.0).abs() < 1e-9, "seed {seed}");
+        assert!(
+            (cx.of_plan(&TaskSet::full(n)) - 1.0).abs() < 1e-9,
+            "seed {seed}"
+        );
         assert_eq!(cx.of_plan(&TaskSet::empty(n)), 0.0, "seed {seed}");
         // Any random subset stays within [0, 1].
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
         let subset = TaskSet::from_tasks(
             n,
-            (0..n).filter(|_| rand::Rng::gen_bool(&mut rng, 0.5)).map(TaskIndex),
+            (0..n)
+                .filter(|_| rand::Rng::gen_bool(&mut rng, 0.5))
+                .map(TaskIndex),
         );
         let of = cx.of_plan(&subset);
-        assert!((0.0..=1.0 + 1e-9).contains(&of), "seed {seed}: OF out of range: {of}");
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&of),
+            "seed {seed}: OF out of range: {of}"
+        );
         let ic = cx.ic_plan(&subset);
-        assert!((0.0..=1.0 + 1e-9).contains(&ic), "seed {seed}: IC out of range: {ic}");
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&ic),
+            "seed {seed}: IC out of range: {ic}"
+        );
     }
 }
 
@@ -91,7 +104,10 @@ fn fidelity_is_monotone_in_failures() {
         for t in order {
             failed.insert(TaskIndex(t));
             let next = fid.output_fidelity(&failed);
-            assert!(next <= prev + 1e-9, "seed {seed}: failing more tasks raised OF");
+            assert!(
+                next <= prev + 1e-9,
+                "seed {seed}: failing more tasks raised OF"
+            );
             prev = next;
         }
     }
@@ -107,7 +123,9 @@ fn ic_never_underestimates_of() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
         let failed = TaskSet::from_tasks(
             n,
-            (0..n).filter(|_| rand::Rng::gen_bool(&mut rng, 0.3)).map(TaskIndex),
+            (0..n)
+                .filter(|_| rand::Rng::gen_bool(&mut rng, 0.3))
+                .map(TaskIndex),
         );
         let fid = cx.fidelity();
         assert!(
@@ -132,7 +150,10 @@ fn planners_respect_budget_and_bounds() {
             assert!((0.0..=1.0 + 1e-9).contains(&sa.value), "seed {seed}");
             assert!((0.0..=1.0 + 1e-9).contains(&gr.value), "seed {seed}");
             // Plan value must equal re-evaluating the plan's task set.
-            assert!((cx.of_plan(&sa.tasks) - sa.value).abs() < 1e-9, "seed {seed}");
+            assert!(
+                (cx.of_plan(&sa.tasks) - sa.value).abs() < 1e-9,
+                "seed {seed}"
+            );
         }
     }
 }
@@ -160,7 +181,11 @@ fn sa_is_near_monotone_in_budget() {
         }
         // Full budget must reach OF 1.
         let full = StructureAwarePlanner::default().plan(&cx, n).unwrap();
-        assert!((full.value - 1.0).abs() < 1e-9, "seed {seed}: full budget OF {}", full.value);
+        assert!(
+            (full.value - 1.0).abs() < 1e-9,
+            "seed {seed}: full budget OF {}",
+            full.value
+        );
     }
 }
 
@@ -176,7 +201,10 @@ fn mc_trees_are_minimal_and_alive() {
         };
         for tree in trees.iter().take(64) {
             // A complete tree alone yields positive fidelity...
-            assert!(cx.of_plan(tree) > 0.0, "seed {seed}: tree {tree:?} contributes nothing");
+            assert!(
+                cx.of_plan(tree) > 0.0,
+                "seed {seed}: tree {tree:?} contributes nothing"
+            );
             // ...and removing any single task kills this tree's contribution
             // or at least never increases fidelity (minimality).
             let with = cx.of_plan(tree);
