@@ -26,6 +26,7 @@ fn main() {
         decay: 0.5,
         hop_delay: SimDuration::from_secs(2),
         fraction: 1.0,
+        origin: None,
     };
     let trace =
         process.generate_seeded(&tree, SimTime::from_secs(40), SimDuration::from_secs(60), 7);

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! reproduce [--quick] [--jobs N] [--json PATH] [--list]
-//!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep | all]
+//!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep
+//!            placement_sweep | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
@@ -48,10 +49,11 @@ fn main() -> ExitCode {
                 json_path = Some(PathBuf::from(p));
             }
             "--list" | "-l" => {
-                // Discovery without reading experiments/mod.rs: the ids,
-                // one per line, machine-friendly (descriptions go to --help).
+                // Discovery without reading experiments/mod.rs: one line
+                // per experiment, id first (stable column for scripts),
+                // then what it reproduces.
                 for e in registry() {
-                    println!("{}", e.id);
+                    println!("{:16} {}", e.id, e.description);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -66,7 +68,14 @@ fn main() -> ExitCode {
                 eprintln!("unknown flag {flag}\n{USAGE}");
                 return ExitCode::from(2);
             }
-            id => opts.only.push(id.to_lowercase()),
+            id => {
+                // Dedupe repeated selectors: `reproduce fig08 fig08` runs
+                // fig08 once, not twice.
+                let id = id.to_lowercase();
+                if !opts.only.contains(&id) {
+                    opts.only.push(id);
+                }
+            }
         }
     }
 

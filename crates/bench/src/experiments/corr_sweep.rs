@@ -110,6 +110,7 @@ fn cell_trace(
         decay: 0.5,
         hop_delay: SimDuration::from_secs(2),
         fraction: 1.0,
+        origin: None,
     };
     let seed = base_seed ^ ((rack_size as u64) << 8) ^ (((spread * 100.0) as u64) << 20);
     process.generate_seeded(

@@ -13,6 +13,7 @@ pub mod fig10;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod placement_sweep;
 pub mod tentative;
 
 use crate::runner::{RunCtx, RunLog};
@@ -53,7 +54,9 @@ impl Strategy {
         }
     }
 
-    fn config(&self, n_tasks: usize, window: SimDuration, seed: u64) -> EngineConfig {
+    /// The engine configuration this strategy runs under (crate-wide so
+    /// experiments can drive golden runs outside [`run_scenario`]).
+    pub(crate) fn config(&self, n_tasks: usize, window: SimDuration, seed: u64) -> EngineConfig {
         let mut cfg = EngineConfig {
             seed,
             ..EngineConfig::default()
@@ -129,6 +132,22 @@ pub fn run_scenario(
 ) -> RunReport {
     let n_tasks = scenario.graph().n_tasks();
     let config = strategy.config(n_tasks, window, seed);
+    run_scenario_config(ctx, label, scenario, strategy, config, trace, duration_secs)
+}
+
+/// [`run_scenario`] with an explicit engine configuration, for experiments
+/// that tweak knobs beyond what the strategy's derived configuration sets
+/// (e.g. the placement sweep holding passive recovery down for
+/// steady-state tentative sampling).
+pub fn run_scenario_config(
+    ctx: &RunCtx,
+    label: &str,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    config: EngineConfig,
+    trace: &FailureTrace,
+    duration_secs: u64,
+) -> RunReport {
     let report = Simulation::run_trace(
         &scenario.query,
         scenario.placement.clone(),

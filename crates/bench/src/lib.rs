@@ -125,6 +125,13 @@ pub fn registry() -> Vec<Experiment> {
             section: "beyond §VI",
             run: experiments::corr_sweep::run,
         },
+        Experiment {
+            id: "placement_sweep",
+            description:
+                "Placement strategies (spread/packed/round-robin) under the burst/cascade grid",
+            section: "beyond §VI",
+            run: experiments::placement_sweep::run,
+        },
     ]
 }
 
@@ -146,6 +153,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"corr_sweep"));
+        assert_eq!(ids.last(), Some(&"placement_sweep"));
     }
 }

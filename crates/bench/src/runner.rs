@@ -325,6 +325,9 @@ mod tests {
             picked.iter().map(|e| e.id).collect::<Vec<_>>(),
             vec!["fig08", "fig13"]
         );
+        // Repeated selectors queue the experiment once, not twice.
+        let repeated = select(&["fig08".into(), "fig08".into()]).unwrap();
+        assert_eq!(repeated.iter().map(|e| e.id).collect::<Vec<_>>(), ["fig08"]);
         assert_eq!(
             select(&["nope".into()]).unwrap_err(),
             vec!["nope".to_string()]

@@ -54,6 +54,7 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "fig10",
         "tentative",
         "corr_sweep",
+        "placement_sweep",
     ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
         assert!(
@@ -61,6 +62,38 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
             "{id} logged no runs for the JSON reporter"
         );
     }
+
+    // The placement sweep's headline claim: fault-domain anti-affinity
+    // strictly beats the packed adversarial baseline on post-burst output
+    // fidelity in at least one swept cell.
+    let sweep = summary
+        .results
+        .iter()
+        .find(|r| r.id == "placement_sweep")
+        .unwrap();
+    let fig = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "placement_sweep")
+        .expect("fidelity figure present");
+    let series = |label: &str| {
+        &fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("{label} series missing"))
+            .points
+    };
+    let packed = series("Packed");
+    let spread = series("DomainSpread");
+    assert_eq!(packed.len(), spread.len());
+    assert!(
+        packed
+            .iter()
+            .zip(spread)
+            .any(|((_, p), (_, s))| s > &(p + 1e-9)),
+        "DomainSpread never strictly dominated Packed on fidelity: \
+         packed={packed:?} spread={spread:?}"
+    );
 }
 
 #[test]
@@ -71,6 +104,7 @@ fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
         "fig12".into(),
         "fig14".into(),
         "corr_sweep".into(),
+        "placement_sweep".into(),
     ];
     let serial = run_experiments(&RunOptions {
         only: only.clone(),

@@ -41,6 +41,9 @@ pub enum CoreError {
     McTreeExplosion { limit: usize },
     /// The dynamic program's candidate-plan set exceeded its limit.
     DpExplosion { limit: usize },
+    /// A task → node mapping handed to the planner does not cover the task
+    /// graph (fault-domain planning needs one node per task).
+    TaskNodeMapLength { expected: usize, got: usize },
     /// A task weight vector had the wrong length or non-positive entries.
     InvalidWeights(usize),
 }
@@ -95,6 +98,10 @@ impl fmt::Display for CoreError {
             CoreError::DpExplosion { limit } => write!(
                 f,
                 "dynamic-programming candidate set exceeded the limit of {limit} plans"
+            ),
+            CoreError::TaskNodeMapLength { expected, got } => write!(
+                f,
+                "task → node mapping covers {got} task(s) but the graph has {expected}"
             ),
             CoreError::InvalidWeights(id) => {
                 write!(f, "operator {id} has an invalid explicit weight vector")

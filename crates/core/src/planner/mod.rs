@@ -111,7 +111,12 @@ impl PlanContext {
     ) -> Result<Self> {
         let cx = Self::new(topology)?;
         let n = cx.n_tasks();
-        assert_eq!(node_of_task.len(), n, "node_of_task must cover every task");
+        if node_of_task.len() != n {
+            return Err(crate::error::CoreError::TaskNodeMapLength {
+                expected: n,
+                got: node_of_task.len(),
+            });
+        }
         let mut sets: Vec<TaskSet> = Vec::new();
         for d in domains.proper_domains() {
             let nodes = domains.nodes_under(d);
@@ -380,6 +385,26 @@ mod tests {
             cx.score_plan(&covered) >= def2.score_plan(&covered),
             "domain-restricted failures can only improve the worst case"
         );
+    }
+
+    #[test]
+    fn fault_domains_reject_short_node_maps() {
+        use ppa_faults::FaultDomainTree;
+        let t = small();
+        let racks = FaultDomainTree::racks(&[0, 1, 2], 2);
+        // 3 tasks but only 2 mapped nodes: a typed error, not an abort.
+        let err = match PlanContext::with_fault_domains(&t, &racks, &[0, 1]) {
+            Err(e) => e,
+            Ok(_) => panic!("short node map accepted"),
+        };
+        assert_eq!(
+            err,
+            crate::error::CoreError::TaskNodeMapLength {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("2 task(s)"), "{err}");
     }
 
     #[test]

@@ -185,7 +185,7 @@ mod tests {
         });
         q.connect(s, m, Partitioning::Merge).unwrap();
         let q = q.build().unwrap();
-        let placement = Placement::explicit(vec![0, 1, 2], vec![3, 4, 5], 3, 3);
+        let placement = Placement::explicit(vec![0, 1, 2], vec![3, 4, 5], 3, 3).unwrap();
 
         let report = Simulation::run(
             &q,

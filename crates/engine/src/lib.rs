@@ -38,12 +38,14 @@ pub use config::{CostModel, EngineConfig, FtMode};
 pub use estimate::{
     active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile,
 };
-pub use placement::Placement;
+pub use placement::{
+    Cluster, DomainSpread, Packed, Placement, PlacementError, PlacementStrategy, RoundRobin,
+};
 pub use query::{Query, QueryBuilder};
 pub use report::{RunReport, SinkBatch, TaskRecovery, TaskThroughput};
 pub use runtime::{FailureSpec, Simulation};
 // Re-exported so engine users can build replayable failure scenarios
 // without naming the faults crate explicitly.
-pub use ppa_faults::{FailureEvent, FailureTrace};
+pub use ppa_faults::{DomainId, FailureEvent, FailureTrace, FaultDomainTree};
 pub use tuple::{Key, Tuple, Value};
 pub use udf::{BatchCtx, InputBatch, SourceGen, Udf};

@@ -1,0 +1,132 @@
+//! Typed placement validation errors.
+//!
+//! Malformed placements used to abort via `assert!`; they now surface as
+//! [`PlacementError`]s naming the offending task index and node, so harness
+//! code (and user-built scenarios) can report exactly which entry of an
+//! explicit placement is broken instead of dying with a panic backtrace.
+
+use super::NodeId;
+use std::fmt;
+
+/// Why a placement (or a placement strategy) could not be built.
+// No `Eq`: the `Planner` variant wraps `CoreError`, whose rate fields
+// are floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The cluster has no worker nodes.
+    NoWorkers,
+    /// The cluster has no standby nodes.
+    NoStandby,
+    /// `primary` and `standby` assign different numbers of tasks.
+    LengthMismatch { primary: usize, standby: usize },
+    /// A task's primary node is not a worker node (`node >= n_workers`).
+    PrimaryOutOfRange {
+        task: usize,
+        node: NodeId,
+        n_workers: usize,
+    },
+    /// A task's standby node is outside the standby range
+    /// `n_workers..n_workers + n_standby`.
+    StandbyOutOfRange {
+        task: usize,
+        node: NodeId,
+        n_workers: usize,
+        n_standby: usize,
+    },
+    /// An attached fault-domain tree mentions a node the cluster does not
+    /// have.
+    DomainNodeOutOfRange { node: NodeId, n_nodes: usize },
+    /// A racked cluster description was given a zero rack size.
+    ZeroRackSize,
+    /// A domain-level operation needs a fault-domain mapping but the
+    /// placement has none attached.
+    NoFaultDomains,
+    /// The planner rejected the context derived from this placement's
+    /// fault-domain mapping.
+    Planner(ppa_core::CoreError),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoWorkers => write!(f, "placement needs at least one worker node"),
+            PlacementError::NoStandby => write!(f, "placement needs at least one standby node"),
+            PlacementError::LengthMismatch { primary, standby } => write!(
+                f,
+                "primary assigns {primary} task(s) but standby assigns {standby}"
+            ),
+            PlacementError::PrimaryOutOfRange {
+                task,
+                node,
+                n_workers,
+            } => write!(
+                f,
+                "task {task}: primary node {node} is not a worker (workers are 0..{n_workers})"
+            ),
+            PlacementError::StandbyOutOfRange {
+                task,
+                node,
+                n_workers,
+                n_standby,
+            } => write!(
+                f,
+                "task {task}: standby node {node} is outside {n_workers}..{}",
+                n_workers + n_standby
+            ),
+            PlacementError::DomainNodeOutOfRange { node, n_nodes } => write!(
+                f,
+                "fault-domain tree assigns node {node} but the cluster has only {n_nodes} node(s)"
+            ),
+            PlacementError::ZeroRackSize => {
+                write!(f, "racked cluster needs a positive rack size")
+            }
+            PlacementError::NoFaultDomains => {
+                write!(f, "placement has no fault-domain mapping attached")
+            }
+            PlacementError::Planner(e) => {
+                write!(f, "planner rejected the placement-derived context: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlacementError::Planner(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppa_core::CoreError> for PlacementError {
+    fn from(e: ppa_core::CoreError) -> Self {
+        PlacementError::Planner(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_name_the_offending_task() {
+        let e = PlacementError::PrimaryOutOfRange {
+            task: 7,
+            node: 9,
+            n_workers: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task 7"), "{msg}");
+        assert!(msg.contains("node 9"), "{msg}");
+        let e = PlacementError::StandbyOutOfRange {
+            task: 3,
+            node: 1,
+            n_workers: 4,
+            n_standby: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task 3"), "{msg}");
+        assert!(msg.contains("4..6"), "{msg}");
+    }
+}

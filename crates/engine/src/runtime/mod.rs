@@ -387,6 +387,21 @@ impl Simulation {
             .at(at.max(self.sched.now()), Event::Failure { idx });
     }
 
+    /// Registers the failure of a whole fault domain at `at`: the kill set
+    /// is expanded through the placement's own node → domain mapping, so
+    /// callers name the blast radius (a rack, a zone) instead of
+    /// pre-expanding node lists. `Err` if the placement carries no
+    /// fault-domain hierarchy.
+    pub fn inject_domain(
+        &mut self,
+        at: SimTime,
+        domain: ppa_faults::DomainId,
+    ) -> Result<(), crate::placement::PlacementError> {
+        let nodes = self.placement.nodes_in_domain(domain)?;
+        self.inject(FailureSpec { at, nodes });
+        Ok(())
+    }
+
     /// Registers every event of a failure trace — the replay half of the
     /// `ppa-faults` subsystem. A trace is just an ordered, normalized
     /// sequence of [`FailureSpec`]-shaped events, so replaying the same
@@ -453,6 +468,12 @@ impl Simulation {
     /// The task graph the simulation runs.
     pub fn graph(&self) -> &TaskGraph {
         &self.graph
+    }
+
+    /// The placement the cluster was built from (including its node →
+    /// fault-domain mapping, when attached).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
     }
 
     // ------------------------------------------------------------------

@@ -73,7 +73,7 @@ fn chain_query(per_batch: usize, window_batches: u64) -> Query {
 fn one_task_per_node(q: &Query) -> Placement {
     let graph = ppa_core::model::TaskGraph::new(q.topology().clone());
     let n = graph.n_tasks();
-    Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n)
+    Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n).expect("valid placement")
 }
 
 fn base_config(mode: FtMode) -> EngineConfig {
@@ -611,6 +611,67 @@ fn trace_replay_matches_spec_injection() {
         SimDuration::from_secs(60),
     );
     assert_eq!(digest(&specs), digest(&traced));
+}
+
+#[test]
+fn domain_injection_matches_expanded_kill_set() {
+    // Killing a fault domain through the placement's node → domain mapping
+    // must be observably identical to injecting the expanded node list by
+    // hand — `inject_domain` is sugar over the mapping, not a new path.
+    let digest = |rep: &RunReport| {
+        (
+            rep.events,
+            rep.sink
+                .iter()
+                .map(|s| (s.batch, s.tuples.len(), s.tentative))
+                .collect::<Vec<_>>(),
+            rep.recoveries
+                .iter()
+                .map(|r| (r.task, r.detected_at, r.recovered_at))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let q = chain_query(100, 5);
+    let mode = || FtMode::Ppa {
+        plan: TaskSet::empty(5),
+        checkpoint_interval: Some(SimDuration::from_secs(5)),
+    };
+    // Racks of 2 over all 10 nodes; the rack holding nodes 2-3 hosts the
+    // primaries of tasks 2 and 3.
+    let placed = || {
+        one_task_per_node(&q)
+            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+                &(0..10).collect::<Vec<_>>(),
+                2,
+            ))
+            .expect("tree covers the cluster")
+    };
+    let expanded = Simulation::run(
+        &q,
+        placed(),
+        base_config(mode()),
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2), node_of(3)],
+        }],
+        SimDuration::from_secs(60),
+    );
+    let mut sim = Simulation::new(&q, placed(), base_config(mode()));
+    let rack = sim
+        .placement()
+        .domain_of(node_of(2))
+        .expect("node 2 is in a rack");
+    sim.inject_domain(SimTime::from_secs(14), rack)
+        .expect("placement carries domains");
+    let by_domain = sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    assert_eq!(digest(&expanded), digest(&by_domain));
+
+    // Without a domain mapping the call surfaces the typed error.
+    let mut bare = Simulation::new(&q, one_task_per_node(&q), base_config(mode()));
+    assert!(matches!(
+        bare.inject_domain(SimTime::from_secs(14), rack),
+        Err(crate::placement::PlacementError::NoFaultDomains)
+    ));
 }
 
 #[test]

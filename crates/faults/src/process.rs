@@ -184,6 +184,12 @@ pub struct CascadeProcess {
     pub hop_delay: SimDuration,
     /// Fraction of each failing domain's nodes that die.
     pub fraction: f64,
+    /// Where the cascade starts: `None` draws the origin domain from the
+    /// RNG (the default); `Some(i)` pins it to the `i`-th domain of the
+    /// level (creation order; out of range is a caller bug and panics) —
+    /// used by sweeps that must strike comparable infrastructure in every
+    /// cell.
+    pub origin: Option<usize>,
 }
 
 impl FailureProcess for CascadeProcess {
@@ -208,7 +214,21 @@ impl FailureProcess for CascadeProcess {
         if domains.is_empty() || horizon.is_zero() {
             return trace; // an empty window holds no failures
         }
-        let origin_domain = domains[rng.gen_range(0..domains.len())];
+        let origin_domain = match self.origin {
+            // Pinned origins must not consume RNG: `None` keeps the draw
+            // sequence (and therefore every pre-existing seeded trace)
+            // byte-identical.
+            Some(i) => {
+                assert!(
+                    i < domains.len(),
+                    "cascade origin {i} out of range: level {} has {} domain(s)",
+                    self.level,
+                    domains.len()
+                );
+                domains[i]
+            }
+            None => domains[rng.gen_range(0..domains.len())],
+        };
         trace.push(
             start,
             sample_nodes(cluster, origin_domain, self.fraction, rng),
@@ -332,6 +352,7 @@ mod tests {
             decay: 0.5,
             hop_delay: SimDuration::from_secs(2),
             fraction: 1.0,
+            origin: None,
         };
         let t = p.generate_seeded(&cluster(), SimTime::from_secs(40), HOUR, 9);
         assert_eq!(t.len(), 1);
@@ -346,6 +367,7 @@ mod tests {
             decay: 1.0,
             hop_delay: SimDuration::from_secs(2),
             fraction: 1.0,
+            origin: None,
         };
         let t = p.generate_seeded(&cluster(), SimTime::from_secs(40), HOUR, 9);
         assert_eq!(t.killed_nodes().len(), 16, "everything dies");
@@ -367,6 +389,7 @@ mod tests {
             decay: 1.0,
             hop_delay: SimDuration::from_secs(2),
             fraction: 1.0,
+            origin: None,
         };
         for seed in 0..20 {
             let t = p.generate_seeded(&c, SimTime::ZERO, HOUR, seed);
@@ -383,6 +406,38 @@ mod tests {
     }
 
     #[test]
+    fn cascade_pinned_origin_strikes_the_named_domain_without_rng() {
+        let c = cluster();
+        let p = |origin| CascadeProcess {
+            level: 1,
+            spread: 0.0,
+            decay: 0.5,
+            hop_delay: SimDuration::from_secs(2),
+            fraction: 1.0,
+            origin,
+        };
+        // Origin 2 = the third rack (nodes 8-11), whatever the seed.
+        for seed in 0..5 {
+            let t = p(Some(2)).generate_seeded(&c, SimTime::ZERO, HOUR, seed);
+            assert_eq!(t.killed_nodes(), vec![8, 9, 10, 11], "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cascade origin 4 out of range")]
+    fn cascade_pinned_origin_out_of_range_panics() {
+        let p = CascadeProcess {
+            level: 1,
+            spread: 0.0,
+            decay: 0.5,
+            hop_delay: SimDuration::from_secs(2),
+            fraction: 1.0,
+            origin: Some(4), // the cluster has racks 0..4
+        };
+        let _ = p.generate_seeded(&cluster(), SimTime::ZERO, HOUR, 1);
+    }
+
+    #[test]
     fn cascade_respects_the_horizon() {
         let p = CascadeProcess {
             level: 1,
@@ -390,6 +445,7 @@ mod tests {
             decay: 1.0,
             hop_delay: SimDuration::from_secs(2),
             fraction: 1.0,
+            origin: None,
         };
         // Horizon of 3s admits only the origin (0s) and ring 1 (2s).
         let t = p.generate_seeded(
@@ -417,6 +473,7 @@ mod tests {
             decay: 0.5,
             hop_delay: SimDuration::from_secs(2),
             fraction: 0.75,
+            origin: None,
         };
         let a = p.generate_seeded(&cluster(), SimTime::ZERO, HOUR, 21);
         let b = p.generate_seeded(&cluster(), SimTime::ZERO, HOUR, 21);
@@ -441,6 +498,7 @@ mod tests {
                 decay: 1.0,
                 hop_delay: SimDuration::from_secs(2),
                 fraction: 1.0,
+                origin: None,
             }),
         ];
         for p in &procs {
@@ -470,6 +528,7 @@ mod tests {
                 decay: 0.6,
                 hop_delay: SimDuration::from_secs(1),
                 fraction: 1.0,
+                origin: None,
             }),
         ];
         for p in &procs {

@@ -9,7 +9,7 @@
 use crate::navigation::jam_set;
 use crate::worldcup::topk_set;
 use ppa_engine::RunReport;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Generic set-overlap accuracy between two runs' sink outputs, with a
 /// per-batch extractor mapping sink tuples to comparable items.
@@ -61,6 +61,70 @@ pub fn topk_accuracy(
         per_batch.push(st.intersection(&sa).count() as f64 / sa.len() as f64);
     }
     if per_batch.is_empty() {
+        return 1.0;
+    }
+    per_batch.iter().sum::<f64>() / per_batch.len() as f64
+}
+
+/// Recovered-output fidelity of a failure run against a golden run over a
+/// batch window: per batch the golden run emitted, the fraction of its sink
+/// tuple volume the failure run delivered *on time* (capped at 1), averaged
+/// over the window.
+///
+/// "On time" means within `lateness` of the golden run's emission instant
+/// for the same (batch, sink task) — recovery replay eventually backfills
+/// *every* batch, so without a deadline any run that recovers at all
+/// scores 1.0. The deadline makes the metric measure what the paper's
+/// tentative outputs are for: usable (possibly degraded) results when
+/// they were due, not a perfect transcript delivered after the outage.
+/// Deadlines are per sink task, so a parallel sink whose partitions
+/// legitimately emit at different instants scores 1.0 against itself.
+///
+/// Duplicate on-time sink records from one sink task — a restored task
+/// reprocessing its backlog re-emits — are collapsed by keeping that
+/// task's fullest record (capped at the task's golden volume), so replay
+/// never inflates fidelity; distinct sink tasks of a parallel sink
+/// operator are summed, so a whole sink task's missing output is a real
+/// loss, not shadowed by its busiest peer. A batch with no on-time record
+/// counts as 0: the sink was down (or hopelessly behind) and its output
+/// was simply missing when needed.
+pub fn batch_fidelity(
+    golden: &RunReport,
+    run: &RunReport,
+    from_batch: u64,
+    to_batch: u64,
+    lateness: ppa_sim::SimDuration,
+) -> f64 {
+    let mut per_batch = Vec::new();
+    for b in from_batch..to_batch {
+        // Per sink task: golden volume (fullest record) and its deadline.
+        let mut golden_tasks: BTreeMap<_, (usize, ppa_sim::SimTime)> = BTreeMap::new();
+        for s in golden.sink_batches(b) {
+            let entry = golden_tasks
+                .entry(s.task)
+                .or_insert((0, ppa_sim::SimTime::MAX));
+            entry.0 = entry.0.max(s.tuples.len());
+            entry.1 = entry.1.min(s.at);
+        }
+        let golden_tuples: usize = golden_tasks.values().map(|&(v, _)| v).sum();
+        if golden_tuples == 0 {
+            continue;
+        }
+        let run_tuples: usize = golden_tasks
+            .iter()
+            .map(|(&task, &(golden_vol, at))| {
+                let due = at + lateness;
+                run.sink_batches(b)
+                    .filter(|s| s.task == task && s.at <= due)
+                    .map(|s| s.tuples.len().min(golden_vol))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+        per_batch.push(run_tuples as f64 / golden_tuples as f64);
+    }
+    if per_batch.is_empty() {
+        // No accurate output in the window: nothing to lose.
         return 1.0;
     }
     per_batch.iter().sum::<f64>() / per_batch.len() as f64
@@ -141,6 +205,105 @@ mod tests {
         let t = report_with(vec![]);
         assert_eq!(incident_accuracy(&g, &t, 0, 10), 1.0);
         assert_eq!(topk_accuracy(&g, &t, 0, 10), 1.0);
+    }
+
+    #[test]
+    fn batch_fidelity_averages_volume_and_collapses_duplicates() {
+        let slack = ppa_sim::SimDuration::from_secs(5);
+        let key = Tuple::key_only;
+        let g = report_with(vec![
+            (3, vec![key(1), key(2), key(3), key(4)]),
+            (4, vec![key(1), key(2)]),
+        ]);
+        // Batch 3 delivered half; batch 4 missing; batch 3 also re-emitted
+        // by a replaying task with fewer tuples — the fullest record wins.
+        let t = report_with(vec![
+            (3, vec![key(1), key(9)]),
+            (3, vec![key(1)]), // duplicate, smaller: ignored
+        ]);
+        assert!((batch_fidelity(&g, &t, 0, 10, slack) - 0.25).abs() < 1e-12);
+        // Identical runs are perfect; empty windows are perfect.
+        assert_eq!(batch_fidelity(&g, &g, 0, 10, slack), 1.0);
+        assert_eq!(batch_fidelity(&g, &t, 100, 110, slack), 1.0);
+        // Over-delivery (replayed duplicates) is capped at 1 per batch.
+        let over = report_with(vec![
+            (3, vec![key(1); 8]),
+            (4, vec![key(1), key(2), key(3)]),
+        ]);
+        assert_eq!(batch_fidelity(&g, &over, 0, 10, slack), 1.0);
+    }
+
+    #[test]
+    fn batch_fidelity_sums_parallel_sink_tasks() {
+        let key = Tuple::key_only;
+        let record = |task: usize, tuples: Vec<Tuple>| SinkBatch {
+            task: TaskIndex(task),
+            batch: 3,
+            at: SimTime::from_secs(3),
+            tentative: false,
+            tuples,
+        };
+        // A parallelism-2 sink: golden volume is 60 + 40.
+        let mut g = RunReport::default();
+        g.sink.push(record(5, vec![key(1); 60]));
+        g.sink.push(record(6, vec![key(2); 40]));
+        // The failure run delivers only task 5's share (plus a smaller
+        // re-emission duplicate of it): task 6's 40 tuples are missing and
+        // must count as lost, not be shadowed by task 5's maximum.
+        let mut t = RunReport::default();
+        t.sink.push(record(5, vec![key(1); 60]));
+        t.sink.push(record(5, vec![key(1); 20]));
+        let slack = ppa_sim::SimDuration::from_secs(5);
+        assert!((batch_fidelity(&g, &t, 0, 10, slack) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_fidelity_deadlines_are_per_sink_task() {
+        let key = Tuple::key_only;
+        let record = |task: usize, at_secs: u64, tuples: Vec<Tuple>| SinkBatch {
+            task: TaskIndex(task),
+            batch: 3,
+            at: SimTime::from_secs(at_secs),
+            tentative: false,
+            tuples,
+        };
+        // A parallel sink whose heavier partition legitimately emits 7 s
+        // after the lighter one — far more than the 5 s lateness budget.
+        let mut g = RunReport::default();
+        g.sink.push(record(5, 3, vec![key(1); 10]));
+        g.sink.push(record(6, 10, vec![key(2); 30]));
+        let slack = ppa_sim::SimDuration::from_secs(5);
+        // Self-fidelity must be perfect: each task is judged against its
+        // own golden deadline, not the batch's earliest record.
+        assert_eq!(batch_fidelity(&g, &g, 0, 10, slack), 1.0);
+        // A run where the heavy partition slips past ITS deadline loses
+        // exactly that partition's share.
+        let mut t = RunReport::default();
+        t.sink.push(record(5, 3, vec![key(1); 10]));
+        t.sink.push(record(6, 16, vec![key(2); 30]));
+        assert!((batch_fidelity(&g, &t, 0, 10, slack) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_fidelity_ignores_late_backfill() {
+        let key = Tuple::key_only;
+        // Golden emits batch 3 at t = 3 s (report_with's convention).
+        let g = report_with(vec![(3, vec![key(1), key(2)])]);
+        // The failure run backfills batch 3 at t = 30 s — a recovery
+        // replay, far past any usable deadline.
+        let mut late = RunReport::default();
+        late.sink.push(SinkBatch {
+            task: TaskIndex(0),
+            batch: 3,
+            at: SimTime::from_secs(30),
+            tentative: false,
+            tuples: vec![key(1), key(2)],
+        });
+        let slack = ppa_sim::SimDuration::from_secs(5);
+        assert_eq!(batch_fidelity(&g, &late, 0, 10, slack), 0.0);
+        // A generous deadline admits it again.
+        let generous = ppa_sim::SimDuration::from_secs(60);
+        assert_eq!(batch_fidelity(&g, &late, 0, 10, generous), 1.0);
     }
 
     #[test]

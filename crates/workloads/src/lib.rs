@@ -20,13 +20,13 @@ pub mod synthetic;
 pub mod worldcup;
 pub mod zipf;
 
-pub use accuracy::{incident_accuracy, sink_set_accuracy, topk_accuracy};
+pub use accuracy::{batch_fidelity, incident_accuracy, sink_set_accuracy, topk_accuracy};
 pub use navigation::{q2_scenario, NavigationConfig};
 pub use synthetic::{fig6_scenario, Fig6Config};
 pub use worldcup::{q1_scenario, Q1Config};
 
 use ppa_core::model::TaskGraph;
-use ppa_engine::{Placement, Query};
+use ppa_engine::{Cluster, Placement, PlacementError, PlacementStrategy, Query};
 
 /// A ready-to-run workload: query + placement + the worker nodes whose
 /// simultaneous death is the paper's correlated failure.
@@ -36,9 +36,36 @@ pub struct Scenario {
     /// Nodes hosting the non-source tasks (the correlated-failure kill set;
     /// source nodes survive, as in §VI-A).
     pub worker_kill_set: Vec<usize>,
+    /// Name of the placement strategy that produced `placement`
+    /// (`"Dedicated"` for the paper's hand-built layout).
+    pub placement_strategy: String,
 }
 
 impl Scenario {
+    /// Re-places an existing scenario's query with a [`PlacementStrategy`]
+    /// over a [`Cluster`]: the placement (and its attached fault-domain
+    /// mapping) is rebuilt and the strategy's name is recorded for run
+    /// labels. The kill set keeps its documented §VI-A contract — the
+    /// nodes hosting non-source primaries — even though a generic strategy
+    /// mixes sources onto shared workers (a node hosting both a source and
+    /// a synthetic task is still in the set; a pure source node is not).
+    pub fn placed_with(
+        mut self,
+        strategy: &dyn PlacementStrategy,
+        cluster: &Cluster,
+    ) -> Result<Self, PlacementError> {
+        let graph = self.graph();
+        let placement = strategy.place(&graph, cluster)?;
+        self.worker_kill_set = placement.nodes_of(
+            (0..graph.n_tasks())
+                .map(ppa_core::model::TaskIndex)
+                .filter(|&t| !graph.is_source_task(t)),
+        );
+        self.placement = placement;
+        self.placement_strategy = strategy.name().to_string();
+        Ok(self)
+    }
+
     /// The task graph of the scenario's query.
     pub fn graph(&self) -> TaskGraph {
         TaskGraph::new(self.query.topology().clone())
@@ -81,10 +108,14 @@ pub(crate) fn dedicated_placement(graph: &TaskGraph) -> (Placement, Vec<usize>) 
     let n_standby = n.max(1);
     let standby: Vec<usize> = (0..n).map(|t| n_workers + t % n_standby).collect();
     (
-        Placement::explicit(primary, standby, n_workers, n_standby),
+        Placement::explicit(primary, standby, n_workers, n_standby)
+            .expect("dedicated placement is structurally valid"),
         worker_nodes,
     )
 }
+
+/// Strategy label of the paper's hand-built source-isolating layout.
+pub(crate) const DEDICATED: &str = "Dedicated";
 
 #[cfg(test)]
 mod tests {
@@ -108,6 +139,35 @@ mod tests {
         for t in s.graph().source_tasks() {
             assert_eq!(tree.domain_of(s.placement.primary[t.0]), None);
         }
+    }
+
+    #[test]
+    fn placed_with_rebuilds_placement_and_keeps_kill_set_contract() {
+        use ppa_engine::{Cluster, Packed};
+        let s = synthetic::fig6_scenario(&Fig6Config::default())
+            .placed_with(&Packed, &Cluster::flat(12, 12))
+            .unwrap();
+        assert_eq!(s.placement_strategy, "Packed");
+        let g = s.graph();
+        // Packed puts the 16 sources (tasks 0..16, 3 per node) on nodes
+        // 0..5 and nothing else on 0..4; the kill set must keep its §VI-A
+        // contract: nodes hosting non-source primaries only.
+        for node in 0..4 {
+            assert!(
+                !s.worker_kill_set.contains(&node),
+                "pure source node {node} in the kill set"
+            );
+        }
+        for &node in &s.worker_kill_set {
+            assert!(
+                s.placement
+                    .tasks_on(node)
+                    .iter()
+                    .any(|&t| !g.is_source_task(t)),
+                "kill-set node {node} hosts no non-source primary"
+            );
+        }
+        assert!(!s.worker_kill_set.is_empty());
     }
 
     #[test]

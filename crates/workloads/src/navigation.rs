@@ -518,6 +518,7 @@ pub fn q2_scenario(cfg: &NavigationConfig) -> Scenario {
         query,
         placement,
         worker_kill_set,
+        placement_strategy: crate::DEDICATED.to_string(),
     }
 }
 

@@ -148,6 +148,7 @@ pub fn fig6_scenario(cfg: &Fig6Config) -> Scenario {
         query,
         placement,
         worker_kill_set,
+        placement_strategy: crate::DEDICATED.to_string(),
     }
 }
 

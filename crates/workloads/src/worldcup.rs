@@ -229,6 +229,7 @@ pub fn q1_scenario(cfg: &Q1Config) -> Scenario {
         query,
         placement,
         worker_kill_set,
+        placement_strategy: crate::DEDICATED.to_string(),
     }
 }
 

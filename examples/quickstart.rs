@@ -35,7 +35,8 @@ fn main() {
     // 2. A cluster: one node per task plus one standby per task.
     let graph = ppa::core::model::TaskGraph::new(query.topology().clone());
     let n = graph.n_tasks();
-    let placement = Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n);
+    let placement = Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n)
+        .expect("one node per task is a valid placement");
 
     // 3. PPA fault tolerance: checkpoint everything every 5 s.
     let config = EngineConfig {

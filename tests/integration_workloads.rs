@@ -100,7 +100,8 @@ fn experiments_registry_is_complete() {
             "fig13",
             "fig14",
             "tentative",
-            "corr_sweep"
+            "corr_sweep",
+            "placement_sweep"
         ]
     );
 }
