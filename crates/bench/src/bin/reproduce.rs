@@ -3,9 +3,9 @@
 //! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--json PATH] [--list]
+//! reproduce [--quick] [--jobs N] [--json PATH] [--list] [--filter SUBSTR]
 //!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep
-//!            placement_sweep | all]
+//!            placement_sweep adaptive_sweep | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
@@ -16,8 +16,8 @@ use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: reproduce [--quick] [--jobs N] [--json PATH] [--list] [EXPERIMENT.. | all]";
+const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] [--list] \
+     [--filter SUBSTR] [EXPERIMENT.. | all]";
 
 fn main() -> ExitCode {
     let mut opts = RunOptions {
@@ -47,6 +47,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 json_path = Some(PathBuf::from(p));
+            }
+            "--filter" | "-f" => {
+                let Some(f) = args.next() else {
+                    eprintln!("--filter needs an id substring\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.filter = Some(f);
             }
             "--list" | "-l" => {
                 // Discovery without reading experiments/mod.rs: one line
@@ -79,7 +86,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Err(unknown) = ppa_bench::runner::select(&opts.only) {
+    if let Err(unknown) = ppa_bench::runner::select(&opts.only, opts.filter.as_deref()) {
         eprintln!("no experiment matched {unknown:?}; known ids:");
         for e in registry() {
             eprintln!("  {:10} {}", e.id, e.description);

@@ -5,6 +5,7 @@
 //! [`RunCtx::map`]. Each point derives its randomness from its own seed,
 //! so results are identical for any worker count.
 
+pub mod adaptive_sweep;
 pub mod corr_sweep;
 pub mod fig07;
 pub mod fig08;
@@ -139,6 +140,10 @@ pub fn run_scenario(
 /// that tweak knobs beyond what the strategy's derived configuration sets
 /// (e.g. the placement sweep holding passive recovery down for
 /// steady-state tentative sampling).
+///
+/// Runs go through the control-plane loop (`Simulation::drive`) with the
+/// scenario's policy — the static no-op unless one is attached, which is
+/// parity-tested byte-identical to the legacy `run_trace` path.
 pub fn run_scenario_config(
     ctx: &RunCtx,
     label: &str,
@@ -148,22 +153,40 @@ pub fn run_scenario_config(
     trace: &FailureTrace,
     duration_secs: u64,
 ) -> RunReport {
-    let report = Simulation::run_trace(
-        &scenario.query,
-        scenario.placement.clone(),
-        config,
-        trace,
-        SimDuration::from_secs(duration_secs),
-    );
+    drive_scenario_config(ctx, label, scenario, strategy, config, trace, duration_secs).report
+}
+
+/// [`run_scenario_config`] returning the full [`ppa_engine::DriveReport`]
+/// — control actions and control-plane CPU included — for experiments
+/// that measure the control plane itself.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_scenario_config(
+    ctx: &RunCtx,
+    label: &str,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    config: EngineConfig,
+    trace: &FailureTrace,
+    duration_secs: u64,
+) -> ppa_engine::DriveReport {
+    let mut sim = Simulation::new(&scenario.query, scenario.placement.clone(), config);
+    let mut policy = scenario.make_policy();
+    let driven = sim
+        .drive(
+            &ppa_engine::FaultFeed::from_trace(trace.clone()),
+            policy.as_mut(),
+            SimTime::ZERO + SimDuration::from_secs(duration_secs),
+        )
+        .expect("scenario traces name nodes of their own cluster");
     let fail_at_secs = trace.first_at().map_or(0, |t| t.as_micros() / 1_000_000);
     ctx.log_run(RunLog::from_report(
         label,
         strategy.label(),
         fail_at_secs,
         trace.killed_nodes(),
-        &report,
+        &driven.report,
     ));
-    report
+    driven
 }
 
 /// Mean recovery latency in seconds over the non-source tasks (the 15

@@ -132,6 +132,13 @@ pub fn registry() -> Vec<Experiment> {
             section: "beyond §VI",
             run: experiments::placement_sweep::run,
         },
+        Experiment {
+            id: "adaptive_sweep",
+            description:
+                "Control-plane adaptation (migrate + replan) vs static under generated failures",
+            section: "beyond §VI",
+            run: experiments::adaptive_sweep::run,
+        },
     ]
 }
 
@@ -153,6 +160,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"placement_sweep"));
+        assert_eq!(ids.last(), Some(&"adaptive_sweep"));
     }
 }

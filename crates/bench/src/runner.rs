@@ -24,6 +24,9 @@ pub struct RunOptions {
     pub jobs: usize,
     /// Experiment ids to run; empty = all.
     pub only: Vec<String>,
+    /// Case-insensitive substring filter over experiment ids, applied
+    /// after `only` (`--filter sweep` selects every `*_sweep`).
+    pub filter: Option<String>,
     /// Emit per-experiment progress and timings on stderr.
     pub progress: bool,
 }
@@ -209,9 +212,11 @@ pub struct RunSummary {
     pub total_wall: Duration,
 }
 
-/// Resolves `opts.only` against the registry, preserving registry order.
-/// Returns the unknown ids as `Err` so the CLI can report them.
-pub fn select(only: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
+/// Resolves `opts.only` against the registry, preserving registry order,
+/// then applies the optional case-insensitive id-substring `filter`.
+/// Returns the unknown ids (or a filter matching nothing, spelled
+/// `--filter <value>`) as `Err` so the CLI can report them.
+pub fn select(only: &[String], filter: Option<&str>) -> Result<Vec<Experiment>, Vec<String>> {
     let all = registry();
     // Unknown ids are an error even alongside "all" — `reproduce all fgi08`
     // is a typo the user wants to hear about, not silently run everything.
@@ -223,20 +228,29 @@ pub fn select(only: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
     if !unknown.is_empty() {
         return Err(unknown);
     }
-    if only.is_empty() || only.iter().any(|w| w == "all") {
-        return Ok(all);
+    let mut picked: Vec<Experiment> = if only.is_empty() || only.iter().any(|w| w == "all") {
+        all
+    } else {
+        all.into_iter()
+            .filter(|e| only.iter().any(|w| w == e.id))
+            .collect()
+    };
+    if let Some(f) = filter {
+        let needle = f.to_lowercase();
+        picked.retain(|e| e.id.contains(&needle));
+        if picked.is_empty() {
+            // A filter matching nothing is as loud as a typo'd id.
+            return Err(vec![format!("--filter {f}")]);
+        }
     }
-    Ok(all
-        .into_iter()
-        .filter(|e| only.iter().any(|w| w == e.id))
-        .collect())
+    Ok(picked)
 }
 
 /// Runs the selected experiments on the bounded pool and returns results in
 /// registry order. Panics on unknown ids — call [`select`] first to report
 /// them gracefully.
 pub fn run_experiments(opts: &RunOptions) -> RunSummary {
-    let selected = select(&opts.only).expect("unknown experiment ids");
+    let selected = select(&opts.only, opts.filter.as_deref()).expect("unknown experiment ids");
     let jobs = opts.effective_jobs();
     let gate = Arc::new(Gate::new(jobs));
     let total_start = Instant::now();
@@ -317,25 +331,50 @@ mod tests {
 
     #[test]
     fn select_all_and_subsets() {
-        assert_eq!(select(&[]).unwrap().len(), registry().len());
-        assert_eq!(select(&["all".into()]).unwrap().len(), registry().len());
-        let picked = select(&["fig13".into(), "fig08".into()]).unwrap();
+        assert_eq!(select(&[], None).unwrap().len(), registry().len());
+        assert_eq!(
+            select(&["all".into()], None).unwrap().len(),
+            registry().len()
+        );
+        let picked = select(&["fig13".into(), "fig08".into()], None).unwrap();
         // Registry order, not request order.
         assert_eq!(
             picked.iter().map(|e| e.id).collect::<Vec<_>>(),
             vec!["fig08", "fig13"]
         );
         // Repeated selectors queue the experiment once, not twice.
-        let repeated = select(&["fig08".into(), "fig08".into()]).unwrap();
+        let repeated = select(&["fig08".into(), "fig08".into()], None).unwrap();
         assert_eq!(repeated.iter().map(|e| e.id).collect::<Vec<_>>(), ["fig08"]);
         assert_eq!(
-            select(&["nope".into()]).unwrap_err(),
+            select(&["nope".into()], None).unwrap_err(),
             vec!["nope".to_string()]
         );
         // A typo next to "all" is still an error, not a silent run-everything.
         assert_eq!(
-            select(&["all".into(), "fgi08".into()]).unwrap_err(),
+            select(&["all".into(), "fgi08".into()], None).unwrap_err(),
             vec!["fgi08".to_string()]
+        );
+    }
+
+    #[test]
+    fn filter_selects_by_id_substring() {
+        let sweeps = select(&[], Some("sweep")).unwrap();
+        assert_eq!(
+            sweeps.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec!["corr_sweep", "placement_sweep", "adaptive_sweep"],
+            "registry order preserved"
+        );
+        // Case-insensitive, composes with explicit ids.
+        let one = select(&["fig08".into(), "corr_sweep".into()], Some("SWEEP")).unwrap();
+        assert_eq!(one.iter().map(|e| e.id).collect::<Vec<_>>(), ["corr_sweep"]);
+        // A filter matching nothing is an error naming the filter.
+        assert_eq!(
+            select(&[], Some("zzz")).unwrap_err(),
+            vec!["--filter zzz".to_string()]
+        );
+        assert_eq!(
+            select(&["fig08".into()], Some("sweep")).unwrap_err(),
+            vec!["--filter sweep".to_string()]
         );
     }
 

@@ -9,8 +9,7 @@ fn opts(jobs: usize) -> RunOptions {
     RunOptions {
         quick: true,
         jobs,
-        only: Vec::new(),
-        progress: false,
+        ..RunOptions::default()
     }
 }
 
@@ -55,6 +54,7 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "tentative",
         "corr_sweep",
         "placement_sweep",
+        "adaptive_sweep",
     ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
         assert!(
@@ -94,6 +94,60 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "DomainSpread never strictly dominated Packed on fidelity: \
          packed={packed:?} spread={spread:?}"
     );
+
+    // The adaptive sweep's headline claim: the domain-health control
+    // policy strictly beats the static (no-control-plane) baseline on
+    // post-failure fidelity in at least one cell, and never does worse.
+    let sweep = summary
+        .results
+        .iter()
+        .find(|r| r.id == "adaptive_sweep")
+        .unwrap();
+    let fig = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "adaptive_sweep")
+        .expect("fidelity figure present");
+    let series = |label: &str| {
+        &fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("{label} series missing"))
+            .points
+    };
+    let static_series = series("static");
+    let adaptive = series("domain-health");
+    assert_eq!(static_series.len(), adaptive.len());
+    assert!(
+        static_series
+            .iter()
+            .zip(adaptive)
+            .any(|((_, s), (_, a))| a > &(s + 1e-9)),
+        "domain-health never strictly beat static on fidelity: \
+         static={static_series:?} adaptive={adaptive:?}"
+    );
+    assert!(
+        static_series
+            .iter()
+            .zip(adaptive)
+            .all(|((_, s), (_, a))| a >= &(s - 1e-9)),
+        "domain-health fell below static in a cell: \
+         static={static_series:?} adaptive={adaptive:?}"
+    );
+}
+
+#[test]
+fn filter_restricts_a_run_to_matching_ids() {
+    let summary = run_experiments(&RunOptions {
+        only: vec!["fig07".into(), "fig14".into()],
+        filter: Some("14".into()),
+        ..opts(2)
+    });
+    assert_eq!(
+        summary.results.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec!["fig14"],
+        "--filter composes with explicit ids"
+    );
 }
 
 #[test]
@@ -105,6 +159,7 @@ fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
         "fig14".into(),
         "corr_sweep".into(),
         "placement_sweep".into(),
+        "adaptive_sweep".into(),
     ];
     let serial = run_experiments(&RunOptions {
         only: only.clone(),

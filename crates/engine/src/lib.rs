@@ -24,9 +24,18 @@
 //! * **Failure detection** — heartbeat scans at a fixed interval (5 s in the
 //!   paper); recovery latency is measured from detection to the instant the
 //!   task's progress vector dominates its pre-failure progress (§VI).
+//! * **Control plane** — every kind of fault injection (explicit specs,
+//!   domain kills, replayable traces, live generative processes) unifies
+//!   behind a [`FaultFeed`], and [`Simulation::drive`] runs the event loop
+//!   with a [`ControlPolicy`] in it: hooks observe live per-fault-domain
+//!   health ([`HealthView`]) and respond with typed re-plan / migrate
+//!   actions (§V-C's adaptation, closed over the placement subsystem).
 
 pub mod config;
+pub mod control;
+pub mod error;
 pub mod estimate;
+pub mod feed;
 pub mod placement;
 pub mod query;
 pub mod report;
@@ -35,11 +44,18 @@ pub mod tuple;
 pub mod udf;
 
 pub use config::{CostModel, EngineConfig, FtMode};
+pub use control::{
+    ActionOutcome, ActionRecord, ControlAction, ControlPolicy, DomainHealth, DomainHealthPolicy,
+    DriveReport, HealthView, StaticPolicy,
+};
+pub use error::EngineError;
 pub use estimate::{
     active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile,
 };
+pub use feed::FaultFeed;
 pub use placement::{
-    Cluster, DomainSpread, Packed, Placement, PlacementError, PlacementStrategy, RoundRobin,
+    plan_evacuation, Cluster, DomainSpread, MoveRole, Packed, Placement, PlacementError,
+    PlacementStrategy, RoundRobin, TaskMove,
 };
 pub use query::{Query, QueryBuilder};
 pub use report::{RunReport, SinkBatch, TaskRecovery, TaskThroughput};

@@ -13,12 +13,17 @@
 //!   fault domains: spread each MC-tree, separate every primary/standby
 //!   pair);
 //! * [`PlacementError`] — typed validation: malformed placements surface
-//!   as errors naming the offending task, not aborts.
+//!   as errors naming the offending task, not aborts;
+//! * [`plan_evacuation`] — migration planning for the control plane: when
+//!   a `ControlPolicy` orders tasks off degraded fault domains, this is
+//!   the pure where-do-they-go half the engine applies.
 
 mod error;
+mod migration;
 mod strategy;
 
 pub use error::PlacementError;
+pub use migration::{plan_evacuation, MoveRole, TaskMove};
 pub use strategy::{Cluster, DomainSpread, Packed, PlacementStrategy, RoundRobin};
 
 use ppa_core::model::{TaskGraph, TaskIndex};

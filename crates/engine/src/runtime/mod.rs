@@ -25,12 +25,19 @@
 #![allow(clippy::type_complexity)]
 
 use crate::config::{EngineConfig, FtMode};
-use crate::placement::{NodeId, Placement};
+use crate::control::{
+    ActionOutcome, ActionRecord, ControlAction, ControlPolicy, DomainHealth, DriveReport,
+    HealthView, StaticPolicy,
+};
+use crate::error::EngineError;
+use crate::feed::FaultFeed;
+use crate::placement::{plan_evacuation, MoveRole, NodeId, Placement};
 use crate::query::Query;
 use crate::report::{CpuStats, RunReport, SinkBatch, TaskRecovery};
 use crate::tuple::{route, Tuple};
 use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
 use ppa_core::model::{TaskGraph, TaskIndex};
+use ppa_core::{AdaptivePlanner, StructureAwarePlanner, TaskSet};
 use ppa_faults::FailureTrace;
 use ppa_sim::{Scheduler, SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -115,6 +122,11 @@ impl TaskRt {
         self.sub_from.len()
     }
 
+    /// Current operator state size in tuples (0 for sources).
+    fn state_tuples(&self) -> usize {
+        self.udf.as_ref().map_or(0, |u| u.state_tuples())
+    }
+
     /// Whether batch `b` can be processed.
     fn ready(&self, b: u64) -> bool {
         (0..self.n_substreams()).all(|s| self.staged[s].contains_key(&b) || self.closed[s] > b)
@@ -187,9 +199,23 @@ pub struct Simulation {
     events: u64,
     /// Fresh-UDF factories for Storm restarts, one per logical task.
     fresh_udf: Vec<Option<Box<dyn Fn() -> Box<dyn Udf>>>>,
+    /// Spare source generators, one per source task — consumed when the
+    /// control plane activates a source replica mid-run (generators are
+    /// deterministic functions of the batch id, so a spare instance
+    /// produces the identical stream).
+    spare_sources: Vec<Option<Box<dyn SourceGen>>>,
     /// Storm-mode source buffer length in batches.
     storm_buffer_batches: Option<u64>,
     checkpoint_interval: Option<SimDuration>,
+    /// Per-fault-domain time-decayed failure scores (when the placement
+    /// carries a node → domain mapping) — the raw material of the
+    /// control plane's [`HealthView`].
+    domain_health: Option<DomainHealth>,
+    /// The currently adopted active-replication plan (mutated by
+    /// control-plane replans).
+    active_plan: TaskSet,
+    /// Whether the periodic replica-sync event is on the schedule.
+    replica_sync_running: bool,
 }
 
 impl Simulation {
@@ -312,6 +338,24 @@ impl Simulation {
             })
             .collect();
 
+        // One spare generator per source task, for control-plane replica
+        // activation (the query's factories are not storable, so spares
+        // are instantiated up front; generation is pure per batch id).
+        let spare_sources: Vec<Option<Box<dyn SourceGen>>> = (0..n)
+            .map(|t| {
+                let logical = TaskIndex(t);
+                let op = graph.operator_of(logical);
+                query
+                    .is_source(op)
+                    .then(|| query.make_source(op, graph.local_index(logical)))
+            })
+            .collect();
+
+        let domain_health = placement
+            .fault_domains()
+            .map(|tree| DomainHealth::new(tree.n_domains(), config.health_half_life));
+        let active_plan = plan.clone().unwrap_or_else(|| TaskSet::empty(n));
+
         let mut sim = Simulation {
             sched: Scheduler::new(),
             node_busy: vec![SimTime::ZERO; placement.n_nodes()],
@@ -326,8 +370,12 @@ impl Simulation {
             graph,
             placement,
             fresh_udf,
+            spare_sources,
             storm_buffer_batches,
             checkpoint_interval,
+            domain_health,
+            active_plan,
+            replica_sync_running: false,
             config,
         };
         sim.bootstrap();
@@ -375,16 +423,28 @@ impl Simulation {
                 SimTime::ZERO + self.config.replica_sync_interval,
                 Event::ReplicaSync,
             );
+            self.replica_sync_running = true;
         }
     }
 
-    /// Registers a failure injection (before or during a run).
-    pub fn inject(&mut self, spec: FailureSpec) {
+    /// Registers a failure injection (before or during a run). Malformed
+    /// specs — a node the cluster does not have, an instant before the
+    /// simulation's current time — surface as typed [`EngineError`]s
+    /// instead of panicking deep inside the event loop.
+    pub fn inject(&mut self, spec: FailureSpec) -> Result<(), EngineError> {
+        let now = self.sched.now();
+        if spec.at < now {
+            return Err(EngineError::EventInPast { at: spec.at, now });
+        }
+        let n_nodes = self.placement.n_nodes();
+        if let Some(&node) = spec.nodes.iter().find(|&&n| n >= n_nodes) {
+            return Err(EngineError::NodeOutOfRange { node, n_nodes });
+        }
         let at = spec.at;
         self.failures.push(spec);
         let idx = self.failures.len() - 1;
-        self.sched
-            .at(at.max(self.sched.now()), Event::Failure { idx });
+        self.sched.at(at, Event::Failure { idx });
+        Ok(())
     }
 
     /// Registers the failure of a whole fault domain at `at`: the kill set
@@ -396,23 +456,23 @@ impl Simulation {
         &mut self,
         at: SimTime,
         domain: ppa_faults::DomainId,
-    ) -> Result<(), crate::placement::PlacementError> {
+    ) -> Result<(), EngineError> {
         let nodes = self.placement.nodes_in_domain(domain)?;
-        self.inject(FailureSpec { at, nodes });
-        Ok(())
+        self.inject(FailureSpec { at, nodes })
     }
 
     /// Registers every event of a failure trace — the replay half of the
     /// `ppa-faults` subsystem. A trace is just an ordered, normalized
     /// sequence of [`FailureSpec`]-shaped events, so replaying the same
     /// trace twice yields identical runs.
-    pub fn inject_trace(&mut self, trace: &FailureTrace) {
+    pub fn inject_trace(&mut self, trace: &FailureTrace) -> Result<(), EngineError> {
         for event in trace.events() {
             self.inject(FailureSpec {
                 at: event.at,
                 nodes: event.nodes.clone(),
-            });
+            })?;
         }
+        Ok(())
     }
 
     /// Runs the simulation until virtual time `until` and returns the report.
@@ -421,6 +481,11 @@ impl Simulation {
             self.events += 1;
             self.handle(ev);
         }
+        self.report_at(until)
+    }
+
+    /// The report of everything measured so far, ended at `until`.
+    fn report_at(&self, until: SimTime) -> RunReport {
         RunReport {
             recoveries: self.recoveries.clone(),
             sink: self.sink.clone(),
@@ -437,7 +502,9 @@ impl Simulation {
         }
     }
 
-    /// Convenience: build, inject, run.
+    /// Convenience: build, inject, run. A thin wrapper over
+    /// [`Simulation::drive`] with a [`StaticPolicy`] (parity-tested
+    /// byte-identical to the historical direct implementation).
     pub fn run(
         query: &Query,
         placement: Placement,
@@ -446,13 +513,17 @@ impl Simulation {
         duration: SimDuration,
     ) -> RunReport {
         let mut sim = Simulation::new(query, placement, config);
-        for f in failures {
-            sim.inject(f);
-        }
-        sim.run_until(SimTime::ZERO + duration)
+        sim.drive(
+            &FaultFeed::from_specs(failures),
+            &mut StaticPolicy,
+            SimTime::ZERO + duration,
+        )
+        .expect("failure specs must name nodes of this cluster")
+        .report
     }
 
-    /// Convenience: build, replay a failure trace, run.
+    /// Convenience: build, replay a failure trace, run. A thin wrapper
+    /// over [`Simulation::drive`] with a [`StaticPolicy`].
     pub fn run_trace(
         query: &Query,
         placement: Placement,
@@ -461,8 +532,88 @@ impl Simulation {
         duration: SimDuration,
     ) -> RunReport {
         let mut sim = Simulation::new(query, placement, config);
-        sim.inject_trace(trace);
-        sim.run_until(SimTime::ZERO + duration)
+        sim.drive(
+            &FaultFeed::from_trace(trace.clone()),
+            &mut StaticPolicy,
+            SimTime::ZERO + duration,
+        )
+        .expect("trace events must name nodes of this cluster")
+        .report
+    }
+
+    /// The control-plane run loop: resolves `feed` against the placement
+    /// into one ordered failure trace, injects it, and runs the event
+    /// loop until `until` with `policy` in the loop — its failure hook
+    /// fires right after every failure event, its epoch hook at every
+    /// `epoch_interval` boundary, and the returned [`ControlAction`]s are
+    /// applied immediately (migration/activation state shipping is
+    /// charged at the hook's virtual time).
+    ///
+    /// With a [`StaticPolicy`] (no hooks, no actions) the produced
+    /// [`RunReport`] is byte-identical to the legacy `run`/`run_trace`
+    /// paths — the policy sits outside the event stream until it acts.
+    pub fn drive(
+        &mut self,
+        feed: &FaultFeed,
+        policy: &mut dyn ControlPolicy,
+        until: SimTime,
+    ) -> Result<DriveReport, EngineError> {
+        let trace = feed.resolve(&self.placement)?;
+        self.inject_trace(&trace)?;
+        let mut actions: Vec<ActionRecord> = Vec::new();
+        let mut control_cpu = SimDuration::ZERO;
+        // A zero interval could never advance past `until`; treat it as
+        // "no epoch hook" rather than hanging the loop.
+        let epoch = policy.epoch_interval().filter(|e| !e.is_zero());
+        let mut next_epoch = epoch.map(|e| SimTime::ZERO + e);
+        loop {
+            let deadline = match next_epoch {
+                Some(e) if e < until => e,
+                _ => until,
+            };
+            while let Some((_, ev)) = self.sched.next_until(deadline) {
+                self.events += 1;
+                let failure = matches!(ev, Event::Failure { .. });
+                self.handle(ev);
+                if failure {
+                    let now = self.sched.now();
+                    let acts = policy.on_failure(&self.health_view(now));
+                    self.apply_actions(now, acts, &mut actions, &mut control_cpu);
+                }
+            }
+            match next_epoch {
+                Some(e) if e < until => {
+                    let acts = policy.on_epoch(&self.health_view(e));
+                    self.apply_actions(e, acts, &mut actions, &mut control_cpu);
+                    next_epoch = Some(e + epoch.expect("next_epoch implies an interval"));
+                }
+                _ => break,
+            }
+        }
+        Ok(DriveReport {
+            report: self.report_at(until),
+            actions,
+            control_cpu,
+            trace,
+        })
+    }
+
+    /// The cluster's health as a policy sees it at `at`: the placement's
+    /// fault-domain tree plus every domain's time-decayed failure score.
+    pub fn health_view(&self, at: SimTime) -> HealthView<'_> {
+        HealthView::new(
+            at,
+            self.placement.fault_domains(),
+            self.domain_health
+                .as_ref()
+                .map(|h| h.snapshot(at))
+                .unwrap_or_default(),
+        )
+    }
+
+    /// The currently adopted active-replication plan.
+    pub fn active_plan(&self) -> &TaskSet {
+        &self.active_plan
     }
 
     /// The task graph the simulation runs.
@@ -470,10 +621,375 @@ impl Simulation {
         &self.graph
     }
 
-    /// The placement the cluster was built from (including its node →
-    /// fault-domain mapping, when attached).
+    /// The placement the cluster currently runs under — control-plane
+    /// migrations rewrite it, so mid-`drive` this reflects where tasks
+    /// actually are (including the node → fault-domain mapping).
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane: applying policy actions
+    // ------------------------------------------------------------------
+
+    fn apply_actions(
+        &mut self,
+        at: SimTime,
+        acts: Vec<ControlAction>,
+        out: &mut Vec<ActionRecord>,
+        control_cpu: &mut SimDuration,
+    ) {
+        for act in acts {
+            let outcome = match act {
+                ControlAction::Replan { budget } => self.apply_replan(budget, at, control_cpu),
+                ControlAction::MigrateTasks { domains } => {
+                    self.apply_migration(&domains, at, control_cpu)
+                }
+            };
+            out.push(ActionRecord { at, outcome });
+        }
+    }
+
+    /// Reserves control-plane work on `node` starting no earlier than the
+    /// acting hook's virtual time `at` (an epoch boundary can lie between
+    /// events, past the scheduler clock — the shipped state must not
+    /// complete before the decision that ordered it).
+    fn reserve_from(&mut self, node: NodeId, work: SimDuration, at: SimTime) -> SimTime {
+        let start = self.node_busy[node].max(self.sched.now()).max(at);
+        let finish = start + work;
+        self.node_busy[node] = finish;
+        finish
+    }
+
+    /// Re-plans active replication through `AdaptivePlanner::step` (§V-C
+    /// hysteresis) against a context derived from the placement's
+    /// *current* node → domain mapping, then reconciles running replicas
+    /// with the adopted plan: replicas that fell out are torn down, and
+    /// every planned task without a live replica gets one established —
+    /// including re-establishing replicas the failures destroyed, which
+    /// is what lets a drive recover tasks whose primary *and* standby
+    /// died together.
+    fn apply_replan(
+        &mut self,
+        budget: usize,
+        at: SimTime,
+        control_cpu: &mut SimDuration,
+    ) -> ActionOutcome {
+        if !matches!(self.config.mode, FtMode::Ppa { .. }) {
+            return ActionOutcome::NoEffect {
+                action: "replan",
+                reason: "replication plans only exist under FtMode::Ppa",
+            };
+        }
+        let cx = match self.placement.plan_context(self.graph.topology()) {
+            Ok(cx) => cx,
+            Err(_) => {
+                return ActionOutcome::NoEffect {
+                    action: "replan",
+                    reason: "placement carries no fault-domain mapping to plan against",
+                }
+            }
+        };
+        // Live health enters the objective: alongside the hypothetical
+        // per-domain failure sets, the *currently dead* tasks form one
+        // more candidate set — a plan that abandons an already-down task
+        // is scored as losing it, so replans keep covering the actual
+        // outage while re-hedging the surviving domains.
+        let n = self.graph.n_tasks();
+        let dead = TaskSet::from_tasks(
+            n,
+            (0..n)
+                .filter(|&t| self.tasks[t].status == Status::Dead)
+                .map(TaskIndex),
+        );
+        let cx = if dead.is_empty() {
+            cx
+        } else {
+            let mut sets = cx.failure_sets().unwrap_or_default().to_vec();
+            sets.push(dead.clone());
+            cx.with_failure_sets(sets)
+        };
+        let planner = AdaptivePlanner::new(StructureAwarePlanner::default());
+        let step = match planner.step(&cx, &self.active_plan, budget) {
+            Ok(step) => step,
+            Err(_) => {
+                return ActionOutcome::NoEffect {
+                    action: "replan",
+                    reason: "planner rejected the placement-derived context",
+                }
+            }
+        };
+        let mut adopted = step.plan.tasks;
+        let mut deactivated = 0;
+        for t in step.deactivate.iter() {
+            if self.deactivate_replica(t.0) {
+                deactivated += 1;
+            } else if self.replica_slot[t.0].is_some() {
+                // Kept (e.g. a dead task's only way back): the adopted
+                // plan must reflect what actually runs.
+                adopted.insert(t);
+            }
+        }
+        let mut activated = 0;
+        for t in adopted.iter() {
+            if self.activate_replica(t.0, at, control_cpu) {
+                activated += 1;
+            }
+        }
+        self.active_plan = adopted;
+        ActionOutcome::Replanned {
+            activated,
+            deactivated,
+        }
+    }
+
+    /// Evacuates primaries and standbys off `domains` per
+    /// [`plan_evacuation`], rewiring the running tasks and charging each
+    /// move's state ship to the destination node.
+    fn apply_migration(
+        &mut self,
+        domains: &[ppa_faults::DomainId],
+        at: SimTime,
+        control_cpu: &mut SimDuration,
+    ) -> ActionOutcome {
+        let moves = match plan_evacuation(&self.placement, domains, &self.node_alive) {
+            Ok(moves) => moves,
+            Err(_) => {
+                return ActionOutcome::NoEffect {
+                    action: "migrate",
+                    reason: "placement carries no fault-domain mapping to evacuate",
+                }
+            }
+        };
+        let mut primaries = 0;
+        let mut standbys = 0;
+        for m in moves {
+            let t = m.task.0;
+            match m.role {
+                MoveRole::Primary => {
+                    // Only live incarnations move; a dead task's comeback
+                    // is the recovery path's job.
+                    if matches!(self.tasks[t].status, Status::Dead | Status::Restoring) {
+                        continue;
+                    }
+                    let work = self.state_ship_work(self.tasks[t].state_tuples());
+                    self.reserve_from(m.to, work, at);
+                    *control_cpu += work;
+                    self.tasks[t].node = m.to;
+                    self.placement.primary[t] = m.to;
+                    primaries += 1;
+                }
+                MoveRole::Standby => {
+                    self.placement.standby[t] = m.to;
+                    standbys += 1;
+                    // A live muted replica follows its standby slot.
+                    if let Some(slot) = self.replica_slot[t] {
+                        if self.tasks[slot].status == Status::Running
+                            && self.tasks[slot].node == m.from
+                        {
+                            let work = self.state_ship_work(self.tasks[slot].state_tuples());
+                            self.reserve_from(m.to, work, at);
+                            *control_cpu += work;
+                            self.tasks[slot].node = m.to;
+                        }
+                    }
+                }
+            }
+        }
+        ActionOutcome::Migrated {
+            primaries,
+            standbys,
+        }
+    }
+
+    /// CPU to ship `state` tuples of operator state to another node.
+    fn state_ship_work(&self, state: usize) -> SimDuration {
+        self.config.costs.state_load_per_tuple * state as u64 + self.config.costs.batch_overhead
+    }
+
+    /// Establishes an active replica for task `t` on its standby node,
+    /// initialized from the live primary (state ship) or, when the
+    /// primary is down, from its last checkpoint. Returns whether a new
+    /// replica was created — `false` when one is already live or the
+    /// standby node is dead.
+    fn activate_replica(&mut self, t: usize, at: SimTime, control_cpu: &mut SimDuration) -> bool {
+        let old_slot = self.replica_slot[t];
+        if let Some(slot) = old_slot {
+            if self.tasks[slot].status != Status::Dead {
+                return false; // already live
+            }
+        }
+        let standby = self.placement.standby[t];
+        if !self.node_alive[standby] {
+            return false;
+        }
+        let is_source = self.tasks[t].source.is_some();
+        let source = if is_source {
+            // The spare generator, or the one trapped in a previous
+            // replica slot that died with its node (generation is a pure
+            // function of the batch id, so reuse is safe).
+            match self.spare_sources[t]
+                .take()
+                .or_else(|| old_slot.and_then(|slot| self.tasks[slot].source.take()))
+            {
+                Some(s) => Some(s),
+                None => return false,
+            }
+        } else {
+            None
+        };
+
+        // State to seed the replica with: the live primary's snapshot
+        // (replica sync), else the last checkpoint (the §V-C "initialized
+        // from their checkpoints" path), else a fresh empty UDF.
+        let primary_alive = matches!(self.tasks[t].status, Status::Running | Status::CatchingUp);
+        let (udf, next_batch, closed) = if is_source {
+            // A source replica must pick up exactly where the stream
+            // last materialized: a dead primary's in-flight batch would
+            // otherwise be a permanent hole downstream (the task counts
+            // as recovered, so nothing proxies the missing punctuation).
+            let start = if primary_alive {
+                self.tasks[t].next_batch
+            } else {
+                self.tasks[t]
+                    .pre_failure_progress
+                    .unwrap_or_else(|| self.current_batch())
+            };
+            (None, start, Vec::new())
+        } else if primary_alive {
+            let task = &self.tasks[t];
+            (
+                task.udf.as_ref().map(|u| u.snapshot()),
+                task.next_batch,
+                task.closed.clone(),
+            )
+        } else if let Some(cp) = &self.tasks[t].checkpoint {
+            (
+                cp.udf.as_ref().map(|u| u.snapshot()),
+                cp.batch,
+                cp.closed.clone(),
+            )
+        } else {
+            (
+                self.fresh_udf[t].as_ref().map(|f| f()),
+                0,
+                vec![0; self.tasks[t].n_substreams()],
+            )
+        };
+
+        let state = udf.as_ref().map_or(0, |u| u.state_tuples());
+        let work = self.state_ship_work(state);
+        let finish = self.reserve_from(standby, work, at);
+        *control_cpu += work;
+
+        let logical = TaskIndex(t);
+        let replica = TaskRt {
+            logical,
+            is_replica: true,
+            node: standby,
+            status: Status::Running,
+            udf,
+            source,
+            sub_from: self.tasks[t].sub_from.clone(),
+            staged: vec![BTreeMap::new(); self.tasks[t].n_substreams()],
+            closed: if is_source { Vec::new() } else { closed },
+            next_batch,
+            outputs_enabled: false,
+            out_targets: self.tasks[t].out_targets.clone(),
+            out_buffer: vec![VecDeque::new(); self.tasks[t].out_targets.len()],
+            checkpoint: None,
+            pre_failure_progress: None,
+            pending_sink: Vec::new(),
+            cpu: CpuStats::default(),
+            throughput: crate::report::TaskThroughput::default(),
+        };
+        let slot = self.tasks.len();
+        self.tasks.push(replica);
+        self.replica_slot[t] = Some(slot);
+
+        if is_source {
+            // Regenerate the backlog immediately (deterministic per
+            // batch id, muted into the output buffer — the takeover
+            // flush re-serves it), then join the cadence at the next
+            // batch boundary.
+            let current = self.current_batch();
+            for b in next_batch..current {
+                self.generate_source_batch(slot, b, true);
+            }
+            let b = current.max(next_batch);
+            let due = SimTime::ZERO + self.config.batch_interval * (b + 1);
+            self.sched.at(
+                due.max(self.sched.now()).max(at),
+                Event::SourceBatch { rt: slot, batch: b },
+            );
+        } else {
+            // Ask live upstreams to re-serve everything at or past the
+            // replica's cursor so it can catch up (downstream primaries
+            // deduplicate the copies they also receive).
+            let at = finish + self.config.costs.network_latency;
+            let upstreams: Vec<TaskIndex> =
+                self.tasks[slot].sub_from.iter().map(|&(_, u)| u).collect();
+            for u in upstreams {
+                let sender = self.active_slot(u.0);
+                if matches!(
+                    self.tasks[sender].status,
+                    Status::Running | Status::CatchingUp
+                ) {
+                    self.resend_buffered(sender, logical, next_batch, at);
+                }
+            }
+        }
+
+        // Keep the replica-sync trims flowing.
+        if !self.replica_sync_running {
+            self.sched
+                .after(self.config.replica_sync_interval, Event::ReplicaSync);
+            self.replica_sync_running = true;
+        }
+
+        // A replica established for a dead, already-detected task is a
+        // late takeover: schedule it once the state ship lands. This
+        // also covers a task whose *previous* activated replica died —
+        // its recovery record says recovered, but the stream is headless
+        // until this replica's takeover re-enables it.
+        if self.tasks[t].status == Status::Dead {
+            if let Some(ri) = self.recovery_of[t] {
+                if self.recoveries[ri].detected_at != SimTime::MAX {
+                    self.sched.at(finish, Event::TakeoverDone { logical: t });
+                }
+            }
+        }
+        true
+    }
+
+    /// Tears down task `t`'s muted replica (a replica that already took
+    /// over is the task's active incarnation and is left alone, as is
+    /// the muted replica of a dead primary — it is the task's only way
+    /// back). Returns whether a replica was removed.
+    fn deactivate_replica(&mut self, t: usize) -> bool {
+        let Some(slot) = self.replica_slot[t] else {
+            return false;
+        };
+        if self.tasks[slot].outputs_enabled {
+            return false; // serving as the active incarnation
+        }
+        if self.tasks[t].status == Status::Dead && self.tasks[slot].status == Status::Running {
+            return false; // the dead primary's pending takeover path
+        }
+        let task = &mut self.tasks[slot];
+        task.status = Status::Dead;
+        for s in &mut task.staged {
+            s.clear();
+        }
+        for q in &mut task.out_buffer {
+            q.clear();
+        }
+        task.pending_sink.clear();
+        if let Some(source) = task.source.take() {
+            self.spare_sources[t] = Some(source);
+        }
+        self.replica_slot[t] = None;
+        true
     }
 
     // ------------------------------------------------------------------
@@ -517,6 +1033,11 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_source_batch(&mut self, rt: Rt, batch: u64) {
+        // A replica slot the control plane deactivated is orphaned: stop
+        // its cadence instead of ticking an event stream forever.
+        if self.tasks[rt].is_replica && self.replica_slot[self.tasks[rt].logical.0] != Some(rt) {
+            return;
+        }
         // Always keep the cadence going; a dead source skips generation.
         let next_at = self.sched.now() + self.config.batch_interval;
         self.sched.at(
@@ -1025,6 +1546,7 @@ impl Simulation {
                 continue;
             }
             self.node_alive[node] = false;
+            self.record_domain_failure(node, now);
             for rt in 0..self.tasks.len() {
                 if self.tasks[rt].node == node && self.tasks[rt].status != Status::Dead {
                     let task = &mut self.tasks[rt];
@@ -1049,6 +1571,25 @@ impl Simulation {
                     }
                 }
             }
+        }
+    }
+
+    /// Bumps the time-decayed failure score of every proper fault domain
+    /// containing `node` (no-op without a node → domain mapping).
+    fn record_domain_failure(&mut self, node: NodeId, at: SimTime) {
+        let Some(health) = &mut self.domain_health else {
+            return;
+        };
+        let Some(tree) = self.placement.fault_domains() else {
+            return;
+        };
+        let mut domain = tree.domain_of(node);
+        while let Some(d) = domain {
+            if tree.parent_of(d).is_none() {
+                break; // the root is not a proper domain
+            }
+            health.record(d, at);
+            domain = tree.parent_of(d);
         }
     }
 

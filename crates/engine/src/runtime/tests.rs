@@ -670,8 +670,336 @@ fn domain_injection_matches_expanded_kill_set() {
     let mut bare = Simulation::new(&q, one_task_per_node(&q), base_config(mode()));
     assert!(matches!(
         bare.inject_domain(SimTime::from_secs(14), rack),
-        Err(crate::placement::PlacementError::NoFaultDomains)
+        Err(crate::error::EngineError::Placement(
+            crate::placement::PlacementError::NoFaultDomains
+        ))
     ));
+}
+
+/// Full observable digest of a run (sink payloads included) for
+/// byte-identity assertions.
+fn full_digest(rep: &RunReport) -> (u64, Vec<(u64, Vec<Tuple>, bool)>, Vec<(TaskIndex, SimTime)>) {
+    (
+        rep.events,
+        rep.sink
+            .iter()
+            .map(|s| (s.batch, s.tuples.clone(), s.tentative))
+            .collect(),
+        rep.recoveries
+            .iter()
+            .map(|r| (r.task, r.detected_at))
+            .collect(),
+    )
+}
+
+#[test]
+fn drive_with_static_policy_matches_legacy_run() {
+    let q = chain_query(100, 5);
+    let failures = vec![FailureSpec {
+        at: SimTime::from_secs(14),
+        nodes: vec![node_of(2), node_of(3)],
+    }];
+    let legacy = {
+        // The historical `run` body: inject specs, run the plain loop.
+        let mut sim = Simulation::new(
+            &q,
+            one_task_per_node(&q),
+            base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        );
+        for f in failures.clone() {
+            sim.inject(f).unwrap();
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60))
+    };
+    let mut sim = Simulation::new(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+    );
+    let driven = sim
+        .drive(
+            &FaultFeed::from_specs(failures),
+            &mut crate::control::StaticPolicy,
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+    assert_eq!(full_digest(&legacy), full_digest(&driven.report));
+    assert!(driven.actions.is_empty(), "static policy never acts");
+    assert!(driven.control_cpu.is_zero());
+    assert_eq!(driven.trace.killed_nodes(), vec![node_of(2), node_of(3)]);
+}
+
+#[test]
+fn drive_feed_unifies_domains_and_specs() {
+    // A feed mixing a domain entry and a spec entry must behave exactly
+    // like the pre-expanded spec list.
+    let q = chain_query(100, 5);
+    let tree = || ppa_faults::FaultDomainTree::racks(&(0..10).collect::<Vec<_>>(), 2);
+    let placed = || {
+        one_task_per_node(&q)
+            .with_fault_domains(tree())
+            .expect("tree covers the cluster")
+    };
+    let mode = || FtMode::checkpoint(5, SimDuration::from_secs(5));
+    let expanded = Simulation::run(
+        &q,
+        placed(),
+        base_config(mode()),
+        vec![
+            FailureSpec {
+                at: SimTime::from_secs(14),
+                nodes: vec![2, 3],
+            },
+            FailureSpec {
+                at: SimTime::from_secs(20),
+                nodes: vec![4],
+            },
+        ],
+        SimDuration::from_secs(60),
+    );
+    let mut sim = Simulation::new(&q, placed(), base_config(mode()));
+    let rack = sim.placement().domain_of(2).unwrap();
+    let feed = FaultFeed::new()
+        .with_domain(SimTime::from_secs(14), rack)
+        .with_spec(FailureSpec {
+            at: SimTime::from_secs(20),
+            nodes: vec![4],
+        });
+    let driven = sim
+        .drive(
+            &feed,
+            &mut crate::control::StaticPolicy,
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+    assert_eq!(full_digest(&expanded), full_digest(&driven.report));
+}
+
+#[test]
+fn inject_rejects_malformed_specs_with_typed_errors() {
+    let q = chain_query(50, 5);
+    let mut sim = Simulation::new(&q, one_task_per_node(&q), base_config(FtMode::None));
+    assert_eq!(
+        sim.inject(FailureSpec {
+            at: SimTime::from_secs(5),
+            nodes: vec![0, 99],
+        })
+        .unwrap_err(),
+        crate::error::EngineError::NodeOutOfRange {
+            node: 99,
+            n_nodes: 10
+        }
+    );
+    // Advance time, then try to rewrite history.
+    let _ = sim.run_until(SimTime::from_secs(10));
+    assert_eq!(
+        sim.inject(FailureSpec {
+            at: SimTime::from_secs(5),
+            nodes: vec![0],
+        })
+        .unwrap_err(),
+        crate::error::EngineError::EventInPast {
+            at: SimTime::from_secs(5),
+            now: SimTime::from_secs(10),
+        }
+    );
+    // A valid late injection still works.
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(15),
+        nodes: vec![0],
+    })
+    .unwrap();
+}
+
+#[test]
+fn replan_reestablishes_replicas_lost_with_their_standbys() {
+    // Task 2's primary (node 2) and its replica's standby (node 7) share
+    // a fault domain that dies as one unit. With passive recovery held
+    // down, a static run loses the task for good; a DomainHealthPolicy
+    // re-homes the standby off the dead domain and re-plans, which
+    // re-establishes the replica from the checkpoint and lets the task
+    // take over late.
+    let tree = || {
+        let mut t = ppa_faults::FaultDomainTree::new(&["cluster", "unit"]);
+        let a = t.add_domain(t.root());
+        t.assign(a, 2);
+        t.assign(a, 7);
+        let b = t.add_domain(t.root());
+        for n in [0, 1, 3, 4, 5, 6, 8, 9] {
+            t.assign(b, n);
+        }
+        t
+    };
+    let q = chain_query(100, 5);
+    let placed = || {
+        one_task_per_node(&q)
+            .with_fault_domains(tree())
+            .expect("tree covers the cluster")
+    };
+    let config = || {
+        let mut c = base_config(FtMode::Ppa {
+            plan: TaskSet::full(5),
+            checkpoint_interval: Some(SimDuration::from_secs(5)),
+        });
+        c.passive_recovery = false;
+        c
+    };
+    let feed = || {
+        FaultFeed::from_specs(vec![FailureSpec {
+            at: SimTime::from_secs(20),
+            nodes: vec![2, 7],
+        }])
+    };
+    let until = SimTime::from_secs(80);
+
+    let mut static_sim = Simulation::new(&q, placed(), config());
+    let static_run = static_sim
+        .drive(&feed(), &mut crate::control::StaticPolicy, until)
+        .unwrap();
+    let rec_of = |rep: &RunReport, t: usize| {
+        rep.recoveries
+            .iter()
+            .find(|r| r.task == TaskIndex(t))
+            .cloned()
+            .expect("recovery record")
+    };
+    assert!(
+        rec_of(&static_run.report, 2).recovered_at.is_none(),
+        "static: task 2 lost primary + replica and passive recovery is off"
+    );
+
+    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut policy = crate::control::DomainHealthPolicy::new(Some(5));
+    policy.migrate_radius = 0; // the only sibling is "everything else"
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
+    let r = rec_of(&adaptive_run.report, 2);
+    assert!(
+        r.recovered_at.is_some(),
+        "adaptive: re-established replica must take over: {r:?}"
+    );
+    assert!(r.via_replica);
+    assert!(
+        adaptive_run.tasks_migrated() >= 1,
+        "the standby must have been re-homed: {:?}",
+        adaptive_run.actions
+    );
+    assert!(
+        adaptive_run.replicas_activated() >= 1,
+        "the replica must have been re-established: {:?}",
+        adaptive_run.actions
+    );
+    assert!(!adaptive_run.control_cpu.is_zero());
+    // The re-homed standby is visible through the live placement.
+    assert_ne!(adaptive_sim.placement().standby[2], 7);
+}
+
+#[test]
+fn migration_evacuates_live_primaries_before_the_next_ring() {
+    // 8 workers + 8 standbys in racks of 2; the 5 tasks sit on nodes
+    // 0..5 with workers 5..8 free. Rack {2,3} dies at t=20. A policy
+    // with migrate_radius 1 evacuates the neighbouring racks {0,1} and
+    // {4,5} immediately — so when rack {4,5} dies 4 s later, the sink
+    // task (node 4) has already moved and keeps running.
+    let q = chain_query(100, 5);
+    let placed = || {
+        Placement::explicit((0..5).collect(), (8..13).collect(), 8, 8)
+            .expect("valid placement")
+            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+                &(0..16).collect::<Vec<_>>(),
+                2,
+            ))
+            .expect("tree covers the cluster")
+    };
+    let config = || {
+        let mut c = base_config(FtMode::checkpoint(5, SimDuration::from_secs(5)));
+        c.passive_recovery = false;
+        c
+    };
+    let feed = || {
+        FaultFeed::new()
+            .with_spec(FailureSpec {
+                at: SimTime::from_secs(20),
+                nodes: vec![2, 3],
+            })
+            .with_spec(FailureSpec {
+                at: SimTime::from_secs(24),
+                nodes: vec![4, 5],
+            })
+    };
+    let until = SimTime::from_secs(60);
+
+    let mut static_sim = Simulation::new(&q, placed(), config());
+    let static_run = static_sim
+        .drive(&feed(), &mut crate::control::StaticPolicy, until)
+        .unwrap();
+    // Static: the sink (task 4, node 4) dies in the second ring and the
+    // run records its failure.
+    assert!(static_run
+        .report
+        .recoveries
+        .iter()
+        .any(|r| r.task == TaskIndex(4)));
+
+    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut policy = crate::control::DomainHealthPolicy::new(None);
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
+    assert!(
+        adaptive_run
+            .report
+            .recoveries
+            .iter()
+            .all(|r| r.task != TaskIndex(4)),
+        "sink must have been evacuated before its rack died: {:?}",
+        adaptive_run.report.recoveries
+    );
+    assert!(adaptive_run.tasks_migrated() >= 1);
+    assert_ne!(adaptive_sim.placement().primary[4], 4, "sink moved");
+}
+
+#[test]
+fn source_generator_is_reclaimed_from_a_dead_replica_slot() {
+    // A control-plane-activated source replica consumes the task's spare
+    // generator. If that replica's node later dies, re-activation must
+    // reclaim the generator from the dead slot — otherwise the source
+    // could never be replicated again for the rest of the run.
+    let q = chain_query(50, 5);
+    let mut config = base_config(FtMode::ppa(TaskSet::empty(5), SimDuration::from_secs(5)));
+    config.passive_recovery = false;
+    let mut sim = Simulation::new(&q, one_task_per_node(&q), config);
+    let mut cpu = SimDuration::ZERO;
+    let _ = sim.run_until(SimTime::from_secs(10));
+    assert!(
+        sim.activate_replica(0, sim.sched.now(), &mut cpu),
+        "first activation uses the spare generator"
+    );
+    // Kill the replica's standby node (node 5 under one-task-per-node).
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(12),
+        nodes: vec![5],
+    })
+    .unwrap();
+    let _ = sim.run_until(SimTime::from_secs(20));
+    // Re-home the standby and re-activate: the generator must come back
+    // out of the dead slot.
+    sim.placement.standby[0] = 6;
+    assert!(
+        sim.activate_replica(0, sim.sched.now(), &mut cpu),
+        "re-activation reclaims the generator trapped in the dead slot"
+    );
+    // The re-established replica carries the task through a primary kill.
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(25),
+        nodes: vec![node_of(0)],
+    })
+    .unwrap();
+    let report = sim.run_until(SimTime::from_secs(60));
+    let r = report
+        .recoveries
+        .iter()
+        .find(|r| r.task == TaskIndex(0))
+        .expect("source failure recorded");
+    assert!(r.via_replica, "{r:?}");
+    assert!(r.recovered_at.is_some(), "{r:?}");
 }
 
 #[test]

@@ -13,7 +13,8 @@
 //!   ([`IndependentProcess`]), domain bursts ([`DomainBurstProcess`]) and
 //!   decaying cascades ([`CascadeProcess`]), all driven by the in-tree
 //!   seeded RNG so a `(process, cluster, seed)` triple always yields the
-//!   same scenario;
+//!   same scenario (a Weibull/bathtub per-node hazard, [`WeibullProcess`],
+//!   covers the non-memoryless regimes cluster traces show);
 //! * [`FailureTrace`] ([`trace`]) — the normalized, ordered event sequence
 //!   those processes emit, with a canonical line-oriented text format
 //!   (save, diff, replay), consumed by the engine runtime's
@@ -30,5 +31,7 @@ pub mod process;
 pub mod trace;
 
 pub use domain::{DomainId, FaultDomainTree, NodeId};
-pub use process::{CascadeProcess, DomainBurstProcess, FailureProcess, IndependentProcess};
+pub use process::{
+    CascadeProcess, DomainBurstProcess, FailureProcess, IndependentProcess, WeibullProcess,
+};
 pub use trace::{FailureEvent, FailureTrace, TraceParseError};

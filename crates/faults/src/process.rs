@@ -117,6 +117,69 @@ impl FailureProcess for IndependentProcess {
     }
 }
 
+/// Weibull-renewal per-node failures: each node fails on its own clock
+/// with Weibull-distributed inter-arrival times — the classic non-
+/// memoryless hazard model cluster-trace studies fit (and the bathtub
+/// curve's two working regimes):
+///
+/// * `shape < 1` — infant mortality: the hazard rate *decreases* with
+///   uptime, so failures front-load right after (re)start;
+/// * `shape = 1` — the memoryless exponential; with `scale` equal to the
+///   MTBF this draws the identical trace to [`IndependentProcess`]
+///   (asserted in tests);
+/// * `shape > 1` — wear-out: the hazard rate grows with uptime, so
+///   failures cluster late in the window.
+///
+/// Inter-arrival gaps are drawn by inversion: `scale × (-ln(1-u))^(1/k)`.
+#[derive(Debug, Clone)]
+pub struct WeibullProcess {
+    /// Weibull shape parameter `k` (must be positive).
+    pub shape: f64,
+    /// Characteristic life λ: the 63.2th-percentile inter-failure gap.
+    pub scale: SimDuration,
+}
+
+impl FailureProcess for WeibullProcess {
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+
+    fn generate(
+        &self,
+        cluster: &FaultDomainTree,
+        start: SimTime,
+        horizon: SimDuration,
+        rng: &mut StdRng,
+    ) -> FailureTrace {
+        assert!(
+            self.shape.is_finite() && self.shape > 0.0,
+            "shape must be positive"
+        );
+        assert!(self.scale.as_micros() > 0, "scale must be positive");
+        let mut trace = FailureTrace::new();
+        let end = start + horizon;
+        // Sorted node order, same as IndependentProcess: the draw
+        // sequence is independent of tree construction details.
+        for node in cluster.all_nodes() {
+            let mut t = start;
+            loop {
+                // Inverse-CDF draw: scale × (-ln(1-u))^(1/k).
+                let u: f64 = rng.gen();
+                let gap = self.scale.mul_f64((-(1.0 - u).ln()).powf(1.0 / self.shape));
+                if gap.is_zero() {
+                    continue; // u ≈ 0 rounds to zero; redraw to guarantee progress
+                }
+                t += gap;
+                if t >= end {
+                    break;
+                }
+                trace.push(t, vec![node]);
+            }
+        }
+        trace
+    }
+}
+
 /// Domain bursts: `bursts` domains at `level` fail at uniformly random
 /// instants in the window, each killing `fraction` of its hosted nodes.
 #[derive(Debug, Clone)]
@@ -296,6 +359,75 @@ mod tests {
         for e in a.events() {
             assert_eq!(e.nodes.len(), 1, "independent failures are single-node");
         }
+    }
+
+    #[test]
+    fn weibull_same_seed_identical_trace() {
+        let p = WeibullProcess {
+            shape: 0.7,
+            scale: SimDuration::from_secs(600),
+        };
+        let a = p.generate_seeded(&cluster(), SimTime::from_secs(40), HOUR, 7);
+        let b = p.generate_seeded(&cluster(), SimTime::from_secs(40), HOUR, 7);
+        assert_eq!(a.to_text(), b.to_text(), "same seed → byte-identical");
+        let c = p.generate_seeded(&cluster(), SimTime::from_secs(40), HOUR, 8);
+        assert_ne!(a.to_text(), c.to_text(), "different seed → different trace");
+        assert!(!a.is_empty(), "an hour over 16 nodes fails someone");
+        let end = SimTime::from_secs(40) + HOUR;
+        for e in a.events() {
+            assert_eq!(e.nodes.len(), 1, "per-node failures are single-node");
+            assert!(e.at >= SimTime::from_secs(40) && e.at < end);
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_is_the_exponential_baseline() {
+        // k = 1 collapses the Weibull draw to the exponential one, gap
+        // for gap — the trace is byte-identical to IndependentProcess
+        // with mtbf = scale under the same seed.
+        let mtbf = SimDuration::from_secs(600);
+        let w = WeibullProcess {
+            shape: 1.0,
+            scale: mtbf,
+        };
+        let e = IndependentProcess { mtbf };
+        for seed in [1, 7, 42] {
+            let a = w.generate_seeded(&cluster(), SimTime::ZERO, HOUR, seed);
+            let b = e.generate_seeded(&cluster(), SimTime::ZERO, HOUR, seed);
+            assert_eq!(a.to_text(), b.to_text(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weibull_shape_skews_the_failure_mass() {
+        // Same scale, many seeds: infant mortality (k < 1) puts more of
+        // its failures in the first tenth of the window than wear-out
+        // (k > 1) does — the bathtub curve's two working regimes.
+        let early_mass = |shape: f64| {
+            let p = WeibullProcess {
+                shape,
+                scale: SimDuration::from_secs(1800),
+            };
+            let mut early = 0usize;
+            let mut total = 0usize;
+            for seed in 0..30 {
+                let t = p.generate_seeded(&cluster(), SimTime::ZERO, HOUR, seed);
+                for e in t.events() {
+                    total += 1;
+                    if e.at < SimTime::from_secs(360) {
+                        early += 1;
+                    }
+                }
+            }
+            assert!(total > 0, "shape {shape} generated nothing");
+            early as f64 / total as f64
+        };
+        let infant = early_mass(0.5);
+        let wearout = early_mass(2.0);
+        assert!(
+            infant > wearout,
+            "k=0.5 early mass {infant} must exceed k=2.0's {wearout}"
+        );
     }
 
     #[test]

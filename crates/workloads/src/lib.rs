@@ -26,7 +26,13 @@ pub use synthetic::{fig6_scenario, Fig6Config};
 pub use worldcup::{q1_scenario, Q1Config};
 
 use ppa_core::model::TaskGraph;
-use ppa_engine::{Cluster, Placement, PlacementError, PlacementStrategy, Query};
+use ppa_engine::{Cluster, ControlPolicy, Placement, PlacementError, PlacementStrategy, Query};
+
+/// Factory producing a fresh control policy per run. Policies are
+/// stateful (`&mut` hooks), so a scenario carries a factory rather than
+/// an instance — each simulated run drives its own copy, which keeps
+/// parallel harness runs independent and deterministic.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn ControlPolicy> + Send + Sync>;
 
 /// A ready-to-run workload: query + placement + the worker nodes whose
 /// simultaneous death is the paper's correlated failure.
@@ -39,9 +45,31 @@ pub struct Scenario {
     /// Name of the placement strategy that produced `placement`
     /// (`"Dedicated"` for the paper's hand-built layout).
     pub placement_strategy: String,
+    /// Optional control policy driving online adaptation when the
+    /// scenario runs through `Simulation::drive`. `None` means the
+    /// static (never-acting) policy — byte-identical to the legacy run
+    /// paths.
+    pub policy: Option<PolicyFactory>,
 }
 
 impl Scenario {
+    /// Attaches a control-policy factory; each run gets a fresh instance.
+    pub fn with_policy(
+        mut self,
+        factory: impl Fn() -> Box<dyn ControlPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        self.policy = Some(Box::new(factory));
+        self
+    }
+
+    /// Instantiates the scenario's policy (the static no-op when none is
+    /// attached).
+    pub fn make_policy(&self) -> Box<dyn ControlPolicy> {
+        match &self.policy {
+            Some(factory) => factory(),
+            None => Box::new(ppa_engine::StaticPolicy),
+        }
+    }
     /// Re-places an existing scenario's query with a [`PlacementStrategy`]
     /// over a [`Cluster`]: the placement (and its attached fault-domain
     /// mapping) is rebuilt and the strategy's name is recorded for run

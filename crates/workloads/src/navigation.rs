@@ -519,6 +519,7 @@ pub fn q2_scenario(cfg: &NavigationConfig) -> Scenario {
         placement,
         worker_kill_set,
         placement_strategy: crate::DEDICATED.to_string(),
+        policy: None,
     }
 }
 

@@ -149,6 +149,7 @@ pub fn fig6_scenario(cfg: &Fig6Config) -> Scenario {
         placement,
         worker_kill_set,
         placement_strategy: crate::DEDICATED.to_string(),
+        policy: None,
     }
 }
 

@@ -230,6 +230,7 @@ pub fn q1_scenario(cfg: &Q1Config) -> Scenario {
         placement,
         worker_kill_set,
         placement_strategy: crate::DEDICATED.to_string(),
+        policy: None,
     }
 }
 

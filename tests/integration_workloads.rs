@@ -101,7 +101,8 @@ fn experiments_registry_is_complete() {
             "fig14",
             "tentative",
             "corr_sweep",
-            "placement_sweep"
+            "placement_sweep",
+            "adaptive_sweep"
         ]
     );
 }
