@@ -15,6 +15,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod placement_sweep;
+pub mod refail_sweep;
 pub mod tentative;
 
 use crate::runner::{RunCtx, RunLog};

@@ -139,6 +139,13 @@ pub fn registry() -> Vec<Experiment> {
             section: "beyond §VI",
             run: experiments::adaptive_sweep::run,
         },
+        Experiment {
+            id: "refail_sweep",
+            description:
+                "Repeated cascade waves killing activated replicas: honest re-failure accounting",
+            section: "beyond §VI",
+            run: experiments::refail_sweep::run,
+        },
     ]
 }
 
@@ -160,6 +167,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"adaptive_sweep"));
+        assert_eq!(ids.last(), Some(&"refail_sweep"));
     }
 }

@@ -361,7 +361,12 @@ mod tests {
         let sweeps = select(&[], Some("sweep")).unwrap();
         assert_eq!(
             sweeps.iter().map(|e| e.id).collect::<Vec<_>>(),
-            vec!["corr_sweep", "placement_sweep", "adaptive_sweep"],
+            vec![
+                "corr_sweep",
+                "placement_sweep",
+                "adaptive_sweep",
+                "refail_sweep"
+            ],
             "registry order preserved"
         );
         // Case-insensitive, composes with explicit ids.

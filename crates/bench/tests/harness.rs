@@ -55,6 +55,7 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "corr_sweep",
         "placement_sweep",
         "adaptive_sweep",
+        "refail_sweep",
     ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
         assert!(
@@ -134,6 +135,75 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "domain-health fell below static in a cell: \
          static={static_series:?} adaptive={adaptive:?}"
     );
+
+    // The refail sweep's headline claim: killing activated replicas in a
+    // second cascade wave opens honest second outages (the pre-lifecycle
+    // runtime recorded none), only the control plane closes them, and
+    // that gap is visible in the second outage window's fidelity.
+    let sweep = summary
+        .results
+        .iter()
+        .find(|r| r.id == "refail_sweep")
+        .unwrap();
+    let histories = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "refail_sweep_outages")
+        .expect("outage-history figure present");
+    let series = |label: &str| {
+        &histories
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("{label} series missing"))
+            .points
+    };
+    assert!(
+        series("second outages (static)")
+            .iter()
+            .any(|(_, v)| *v > 0.0),
+        "no second outages recorded under static: {histories:?}"
+    );
+    assert!(
+        series("second recoveries (static)")
+            .iter()
+            .all(|(_, v)| *v == 0.0),
+        "static cannot close a second outage with passive recovery down: {histories:?}"
+    );
+    assert!(
+        series("second recoveries (domain-health)")
+            .iter()
+            .any(|(_, v)| *v > 0.0),
+        "domain-health must re-establish replicas for re-failed tasks: {histories:?}"
+    );
+    let fidelity = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "refail_sweep")
+        .expect("fidelity figure present");
+    let series = |label: &str| {
+        &fidelity
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("{label} series missing"))
+            .points
+    };
+    let static_w2 = series("static");
+    let adaptive_w2 = series("domain-health");
+    assert_eq!(static_w2.len(), adaptive_w2.len());
+    assert!(
+        static_w2
+            .iter()
+            .zip(adaptive_w2)
+            .all(|((_, s), (_, a))| a >= &(s - 1e-9))
+            && static_w2
+                .iter()
+                .zip(adaptive_w2)
+                .any(|((_, s), (_, a))| a > &(s + 1e-9)),
+        "domain-health must dominate static inside the re-failure window: \
+         static={static_w2:?} adaptive={adaptive_w2:?}"
+    );
 }
 
 #[test]
@@ -160,6 +230,7 @@ fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
         "corr_sweep".into(),
         "placement_sweep".into(),
         "adaptive_sweep".into(),
+        "refail_sweep".into(),
     ];
     let serial = run_experiments(&RunOptions {
         only: only.clone(),

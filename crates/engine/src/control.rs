@@ -23,7 +23,8 @@
 //! [`DomainHealthPolicy`] (migrate away from degraded domains and their
 //! cascade-threatened neighbours, then re-plan).
 
-use crate::report::RunReport;
+use crate::report::{Lifecycle, RunReport};
+use ppa_core::model::TaskIndex;
 use ppa_faults::{DomainId, FailureTrace, FaultDomainTree};
 use ppa_sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
@@ -163,19 +164,43 @@ impl DomainHealth {
 }
 
 /// A policy's window into the running cluster: the virtual time of the
-/// hook, the placement's fault-domain tree (when attached) and every
-/// domain's time-decayed failure score.
+/// hook, the placement's fault-domain tree (when attached), every
+/// domain's time-decayed failure score, and every task's lifecycle state
+/// and outage count — re-failures are first-class observations, not
+/// something a policy has to reconstruct from node deaths.
 pub struct HealthView<'a> {
     now: SimTime,
     tree: Option<&'a FaultDomainTree>,
     /// Decayed score per domain, indexed by [`DomainId`]; empty when the
     /// placement carries no fault-domain mapping.
     scores: Vec<f64>,
+    /// Lifecycle state per logical task.
+    lifecycles: Vec<Lifecycle>,
+    /// Outage-history length per logical task (0 = never failed; ≥ 2 =
+    /// the task has re-failed at least once).
+    outage_counts: Vec<usize>,
+    /// Monotone recovery-setback count (see
+    /// [`HealthView::recovery_setbacks`]).
+    setbacks: usize,
 }
 
 impl<'a> HealthView<'a> {
-    pub(crate) fn new(now: SimTime, tree: Option<&'a FaultDomainTree>, scores: Vec<f64>) -> Self {
-        HealthView { now, tree, scores }
+    pub(crate) fn new(
+        now: SimTime,
+        tree: Option<&'a FaultDomainTree>,
+        scores: Vec<f64>,
+        lifecycles: Vec<Lifecycle>,
+        outage_counts: Vec<usize>,
+        setbacks: usize,
+    ) -> Self {
+        HealthView {
+            now,
+            tree,
+            scores,
+            lifecycles,
+            outage_counts,
+            setbacks,
+        }
     }
 
     /// Virtual time the hook fired at.
@@ -191,6 +216,49 @@ impl<'a> HealthView<'a> {
     /// The decayed failure score of a domain (0 when unknown).
     pub fn score(&self, domain: DomainId) -> f64 {
         self.scores.get(domain.0).copied().unwrap_or(0.0)
+    }
+
+    /// The lifecycle state of a task (`Healthy` when unknown).
+    pub fn lifecycle(&self, task: TaskIndex) -> Lifecycle {
+        self.lifecycles
+            .get(task.0)
+            .copied()
+            .unwrap_or(Lifecycle::Healthy)
+    }
+
+    /// How many outages a task has gone through (0 = never failed).
+    pub fn outage_count(&self, task: TaskIndex) -> usize {
+        self.outage_counts.get(task.0).copied().unwrap_or(0)
+    }
+
+    /// Total re-failures across all tasks — every outage beyond a task's
+    /// first.
+    pub fn total_refails(&self) -> usize {
+        self.outage_counts
+            .iter()
+            .map(|&c| c.saturating_sub(1))
+            .sum()
+    }
+
+    /// Monotone count of recovery setbacks: re-failures, deaths that
+    /// re-armed an open outage mid-recovery (which do NOT grow the
+    /// outage count), and pending takeovers lost to a muted replica's
+    /// death. Comparing against the value last acted on is how a policy
+    /// detects that *something went backwards* since its last hook, even
+    /// inside domains it already evacuated.
+    pub fn recovery_setbacks(&self) -> usize {
+        self.setbacks
+    }
+
+    /// Tasks that failed again after recovering and are still down or
+    /// replaying — the honest re-failure set a policy should rescue.
+    pub fn refailed_tasks(&self) -> Vec<TaskIndex> {
+        self.outage_counts
+            .iter()
+            .enumerate()
+            .filter(|&(t, &c)| c >= 2 && self.lifecycle(TaskIndex(t)) != Lifecycle::Recovered)
+            .map(|(t, _)| TaskIndex(t))
+            .collect()
     }
 
     /// Proper domains whose decayed score is at least `threshold`, in
@@ -298,6 +366,11 @@ pub struct DomainHealthPolicy {
     pub epoch: SimDuration,
     /// Domains already acted on (a domain is evacuated once).
     acted: BTreeSet<DomainId>,
+    /// Recovery setbacks already acted on — fresh ones (an activated
+    /// replica died, a recovery was knocked back mid-flight) force
+    /// another migrate + replan round even inside already-evacuated
+    /// domains.
+    setbacks_acted: usize,
 }
 
 impl DomainHealthPolicy {
@@ -310,6 +383,7 @@ impl DomainHealthPolicy {
             replan_budget,
             epoch: SimDuration::from_secs(1),
             acted: BTreeSet::new(),
+            setbacks_acted: 0,
         }
     }
 
@@ -319,16 +393,36 @@ impl DomainHealthPolicy {
             .into_iter()
             .filter(|&d| self.acted.insert(d))
             .collect();
-        if fresh.is_empty() {
+        // Recovery setbacks are first-class: an activated replica dying
+        // (or a recovery knocked back mid-flight) lands inside domains
+        // this policy may already have evacuated, so the fresh-domain
+        // filter alone would ignore it forever. A fresh setback forces
+        // another round over every currently degraded domain — re-homing
+        // the dead standby is what lets the follow-up replan re-establish
+        // the task's replica.
+        let setbacks = view.recovery_setbacks();
+        let knocked_back = setbacks > self.setbacks_acted;
+        self.setbacks_acted = setbacks;
+        if fresh.is_empty() && !knocked_back {
             return Vec::new();
         }
         let mut targets = fresh.clone();
         for &d in &fresh {
             targets.extend(view.ring_siblings(d, self.migrate_radius));
         }
+        if knocked_back {
+            // The setback may have landed in an already-acted domain
+            // outside the fresh domains' neighbourhood: re-evacuate every
+            // currently degraded domain regardless, so the dead standby
+            // is re-homed even when the same hook also saw fresh damage.
+            targets.extend(view.degraded(self.threshold));
+        }
         targets.sort_unstable();
         targets.dedup();
-        let mut actions = vec![ControlAction::MigrateTasks { domains: targets }];
+        let mut actions = Vec::new();
+        if !targets.is_empty() {
+            actions.push(ControlAction::MigrateTasks { domains: targets });
+        }
         if let Some(budget) = self.replan_budget {
             actions.push(ControlAction::Replan { budget });
         }
@@ -400,6 +494,9 @@ mod tests {
             SimTime::from_secs(50),
             Some(&tree),
             h.snapshot(SimTime::from_secs(50)),
+            Vec::new(),
+            Vec::new(),
+            0,
         );
         assert_eq!(view.degraded(1.0), vec![racks[1]]);
         assert_eq!(view.score(racks[1]), 3.0);
@@ -423,6 +520,9 @@ mod tests {
             SimTime::from_secs(40),
             Some(&tree),
             h.snapshot(SimTime::from_secs(40)),
+            Vec::new(),
+            Vec::new(),
+            0,
         );
         let actions = policy.on_failure(&view);
         assert_eq!(actions.len(), 2, "migrate + replan");
@@ -438,9 +538,98 @@ mod tests {
     }
 
     #[test]
+    fn health_view_exposes_lifecycles_and_refails() {
+        let view = HealthView::new(
+            SimTime::from_secs(10),
+            None,
+            Vec::new(),
+            vec![
+                Lifecycle::Healthy,
+                Lifecycle::Recovered,
+                Lifecycle::ReFailed,
+                Lifecycle::Replaying,
+            ],
+            vec![0, 2, 3, 1],
+            3,
+        );
+        assert_eq!(view.lifecycle(TaskIndex(0)), Lifecycle::Healthy);
+        assert_eq!(view.lifecycle(TaskIndex(2)), Lifecycle::ReFailed);
+        // Out-of-range tasks read as healthy, never-failed.
+        assert_eq!(view.lifecycle(TaskIndex(99)), Lifecycle::Healthy);
+        assert_eq!(view.outage_count(TaskIndex(99)), 0);
+        assert_eq!(view.outage_count(TaskIndex(1)), 2);
+        // 1 + 2 + 0 outages beyond the respective firsts.
+        assert_eq!(view.total_refails(), 3);
+        assert_eq!(view.recovery_setbacks(), 3);
+        // Task 1 re-failed but already recovered again; task 2 is down in
+        // its third outage; task 3 never re-failed.
+        assert_eq!(view.refailed_tasks(), vec![TaskIndex(2)]);
+    }
+
+    #[test]
+    fn fresh_refailure_forces_another_round_in_acted_domains() {
+        let tree = FaultDomainTree::racks(&(0..12).collect::<Vec<_>>(), 3);
+        let racks = tree.domains_at_level(1);
+        let mut h = DomainHealth::new(tree.n_domains(), SimDuration::from_secs(300));
+        h.record(racks[0], SimTime::from_secs(40));
+        let mut policy = DomainHealthPolicy::new(Some(4));
+        policy.migrate_radius = 0;
+        let view_at = |at: u64, counts: Vec<usize>, setbacks: usize, h: &DomainHealth| {
+            HealthView::new(
+                SimTime::from_secs(at),
+                Some(&tree),
+                h.snapshot(SimTime::from_secs(at)),
+                Vec::new(),
+                counts,
+                setbacks,
+            )
+        };
+        // First failure: the degraded rack is acted on once.
+        let acts = policy.on_failure(&view_at(40, vec![1, 0, 0], 0, &h));
+        assert_eq!(acts.len(), 2, "migrate + replan: {acts:?}");
+        assert!(policy
+            .on_epoch(&view_at(41, vec![1, 0, 0], 0, &h))
+            .is_empty());
+        // A re-failure (task 0's second outage — one recovery setback)
+        // lands in the same, already-acted rack: the policy must go again
+        // — evacuate the currently degraded domains and re-plan.
+        h.record(racks[0], SimTime::from_secs(60));
+        let acts = policy.on_failure(&view_at(60, vec![2, 0, 0], 1, &h));
+        assert_eq!(
+            acts,
+            vec![
+                ControlAction::MigrateTasks {
+                    domains: vec![racks[0]]
+                },
+                ControlAction::Replan { budget: 4 },
+            ],
+            "a fresh re-failure re-arms the acted domains"
+        );
+        // The same setback does not trigger twice.
+        assert!(policy
+            .on_epoch(&view_at(61, vec![2, 0, 0], 1, &h))
+            .is_empty());
+        // A hook seeing BOTH fresh damage (rack 1) and another setback in
+        // the already-acted rack 0 must cover both: the fresh domain's
+        // neighbourhood AND every degraded acted domain. A mid-recovery
+        // death re-arms the open record — outage counts stay flat, only
+        // the setback counter moves — and must still trigger.
+        h.record(racks[0], SimTime::from_secs(70));
+        h.record(racks[1], SimTime::from_secs(70));
+        let acts = policy.on_failure(&view_at(70, vec![2, 0, 0], 2, &h));
+        assert_eq!(
+            acts[0],
+            ControlAction::MigrateTasks {
+                domains: vec![racks[0], racks[1]]
+            },
+            "fresh rack 1 + re-evacuated rack 0: {acts:?}"
+        );
+    }
+
+    #[test]
     fn static_policy_never_acts() {
         let mut p = StaticPolicy;
-        let view = HealthView::new(SimTime::ZERO, None, Vec::new());
+        let view = HealthView::new(SimTime::ZERO, None, Vec::new(), Vec::new(), Vec::new(), 0);
         assert!(p.on_epoch(&view).is_empty());
         assert!(p.on_failure(&view).is_empty());
         assert!(p.epoch_interval().is_none());

@@ -18,6 +18,11 @@ pub enum EngineError {
     /// A failure event is scheduled before the simulation's current
     /// virtual time — replaying it would rewrite history.
     EventInPast { at: SimTime, now: SimTime },
+    /// A failure event names a node that is already dead at injection
+    /// time (e.g. the node an activated replica died on). Killing it
+    /// again would silently no-op at fire time; the caller almost
+    /// certainly meant a different node.
+    NodeAlreadyDead { node: NodeId },
     /// A feed entry (domain kill, generative process) needs the
     /// placement's fault-domain mapping, or the mapping rejected it.
     Placement(PlacementError),
@@ -33,6 +38,10 @@ impl fmt::Display for EngineError {
             EngineError::EventInPast { at, now } => write!(
                 f,
                 "failure event at {at} is before the simulation's current time {now}"
+            ),
+            EngineError::NodeAlreadyDead { node } => write!(
+                f,
+                "failure event names node {node}, which is already dead at injection time"
             ),
             EngineError::Placement(e) => write!(f, "{e}"),
         }
@@ -72,6 +81,9 @@ mod tests {
             now: SimTime::from_secs(7),
         };
         assert!(e.to_string().contains("3.000s"), "{e}");
+        let e = EngineError::NodeAlreadyDead { node: 7 };
+        assert!(e.to_string().contains("node 7"), "{e}");
+        assert!(e.to_string().contains("already dead"), "{e}");
         let e = EngineError::from(PlacementError::NoFaultDomains);
         assert!(e.to_string().contains("fault-domain"), "{e}");
     }

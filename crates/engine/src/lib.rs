@@ -58,7 +58,9 @@ pub use placement::{
     PlacementStrategy, RoundRobin, TaskMove,
 };
 pub use query::{Query, QueryBuilder};
-pub use report::{RunReport, SinkBatch, TaskRecovery, TaskThroughput};
+pub use report::{
+    Lifecycle, OutageRecord, RunReport, SinkBatch, TaskOutages, TaskRecovery, TaskThroughput,
+};
 pub use runtime::{FailureSpec, Simulation};
 // Re-exported so engine users can build replayable failure scenarios
 // without naming the faults crate explicitly.

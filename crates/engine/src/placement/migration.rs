@@ -190,6 +190,35 @@ mod tests {
     }
 
     #[test]
+    fn whole_domain_evacuation_has_no_admission_bound() {
+        // 24 tasks on 24 workers (+24 standbys), racks of 12: evacuating
+        // one rack plans every hosted primary in a single round — nothing
+        // caps how much state ships per epoch. This is the executable
+        // expectation for the ROADMAP's migration-admission-control
+        // follow-on: an admission bound would split these 12 moves across
+        // rounds.
+        let mut b = TopologyBuilder::new();
+        let s = b.add_operator(OperatorSpec::source("s", 12, 10.0));
+        let m = b.add_operator(OperatorSpec::map("m", 12, 1.0));
+        b.connect(s, m, Partitioning::OneToOne).unwrap();
+        let g = TaskGraph::new(b.build().unwrap());
+        let p = Placement::round_robin(&g, 24, 24)
+            .unwrap()
+            .with_fault_domains(FaultDomainTree::racks(&(0..24).collect::<Vec<_>>(), 12))
+            .unwrap();
+        let rack0 = p.domain_of(0).unwrap();
+        let moves = plan_evacuation(&p, &[rack0], &[true; 48]).unwrap();
+        assert_eq!(moves.len(), 12, "every hosted primary moves at once");
+        assert!(moves.iter().all(|mv| mv.role == MoveRole::Primary));
+        // The 12 evacuees spread one-per-node over the surviving workers.
+        let mut load = [0usize; 24];
+        for mv in &moves {
+            load[mv.to] += 1;
+        }
+        assert!((12..24).all(|n| load[n] == 1), "{moves:?}");
+    }
+
+    #[test]
     fn no_fault_domains_is_a_typed_error() {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 2, 10.0));

@@ -4,7 +4,87 @@ use crate::tuple::Tuple;
 use ppa_core::model::TaskIndex;
 use ppa_sim::{SimDuration, SimTime};
 
-/// Recovery record of one failed task.
+/// Where a task sits in its failure/recovery lifecycle.
+///
+/// The runtime walks each task through
+/// `Healthy → Failed → Replaying → Recovered → ReFailed → Replaying → …`:
+/// every failure of the task's *active incarnation* (primary, restored
+/// primary, or activated replica) opens a fresh [`OutageRecord`] and moves
+/// the task to `Failed`/`ReFailed`; detection + a started recovery path
+/// moves it to `Replaying`; restoring its pre-failure progress moves it to
+/// `Recovered`, from which it can fail again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Never failed.
+    Healthy,
+    /// In its first outage, no recovery path running yet.
+    Failed,
+    /// A recovery path is running (pending replica takeover, checkpoint
+    /// restore + catch-up, or source replay).
+    Replaying,
+    /// The most recent outage recovered; the task serves again.
+    Recovered,
+    /// Failed again after recovering — the honest re-failure state the
+    /// one-shot bookkeeping used to paper over.
+    ReFailed,
+}
+
+/// One outage in a task's lifecycle: a failure of its active incarnation,
+/// its detection, and (if the run lasted long enough) its recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageRecord {
+    /// Whether this outage was recovered from an active replica.
+    pub via_replica: bool,
+    /// When the hosting node actually failed.
+    pub failed_at: SimTime,
+    /// When the master's heartbeat scan detected it (`SimTime::MAX` until
+    /// then).
+    pub detected_at: SimTime,
+    /// When the task's progress vector dominated its pre-failure progress
+    /// (`None` if the run ended first).
+    pub recovered_at: Option<SimTime>,
+}
+
+impl OutageRecord {
+    /// The paper's recovery latency: detection → progress restored.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.recovered_at.map(|r| r.since(self.detected_at))
+    }
+
+    /// Whether the heartbeat scan has detected this outage.
+    pub fn detected(&self) -> bool {
+        self.detected_at != SimTime::MAX
+    }
+
+    /// Whether the outage is still unrecovered.
+    pub fn open(&self) -> bool {
+        self.recovered_at.is_none()
+    }
+}
+
+/// Full outage history of one task, oldest first.
+#[derive(Debug, Clone)]
+pub struct TaskOutages {
+    pub task: TaskIndex,
+    /// Every outage the task went through, in time order.
+    pub records: Vec<OutageRecord>,
+}
+
+impl TaskOutages {
+    /// Outages beyond the first — the re-failures.
+    pub fn refail_count(&self) -> usize {
+        self.records.len().saturating_sub(1)
+    }
+
+    /// The most recent outage.
+    pub fn current(&self) -> Option<&OutageRecord> {
+        self.records.last()
+    }
+}
+
+/// Recovery record of one failed task — the backward-compatible
+/// *first-outage* view derived from the task's [`TaskOutages`] history
+/// (identical to the history for single-failure runs).
 #[derive(Debug, Clone)]
 pub struct TaskRecovery {
     pub task: TaskIndex,
@@ -81,8 +161,14 @@ impl CpuStats {
 /// Everything measured during one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
-    /// Per-failed-task recovery records, in task order.
+    /// Per-failed-task recovery records, in task order — the first-outage
+    /// view of `outages`, kept for every consumer that models one failure
+    /// per task (the §VI-A figures).
     pub recoveries: Vec<TaskRecovery>,
+    /// Full per-task outage histories in first-failure order: every
+    /// failure of a task's active incarnation — including an activated
+    /// replica dying after takeover — appends a fresh [`OutageRecord`].
+    pub outages: Vec<TaskOutages>,
     /// Sink outputs in emission order.
     pub sink: Vec<SinkBatch>,
     /// Per-task CPU statistics (indexed by task).
@@ -136,6 +222,20 @@ impl RunReport {
         }
         let total: u64 = lat.iter().map(|d| d.as_micros()).sum();
         Some(SimDuration::from_micros(total / lat.len() as u64))
+    }
+
+    /// The outage history of one task (empty if it never failed).
+    pub fn outages_of(&self, task: TaskIndex) -> &[OutageRecord] {
+        self.outages
+            .iter()
+            .find(|o| o.task == task)
+            .map_or(&[], |o| o.records.as_slice())
+    }
+
+    /// Total re-failures across all tasks (outages beyond each task's
+    /// first).
+    pub fn refail_count(&self) -> usize {
+        self.outages.iter().map(TaskOutages::refail_count).sum()
     }
 
     /// First tentative sink batch at or after `t`.
@@ -237,6 +337,40 @@ mod tests {
         };
         assert!((c.checkpoint_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(CpuStats::default().checkpoint_ratio(), 0.0);
+    }
+
+    #[test]
+    fn outage_history_helpers() {
+        let rec = |failed: u64, det: u64, recv: Option<u64>| OutageRecord {
+            via_replica: false,
+            failed_at: SimTime::from_secs(failed),
+            detected_at: SimTime::from_secs(det),
+            recovered_at: recv.map(SimTime::from_secs),
+        };
+        let mut rep = RunReport::default();
+        rep.outages.push(TaskOutages {
+            task: TaskIndex(2),
+            records: vec![rec(10, 15, Some(25)), rec(40, 45, None)],
+        });
+        assert_eq!(rep.outages_of(TaskIndex(2)).len(), 2);
+        assert!(rep.outages_of(TaskIndex(0)).is_empty());
+        assert_eq!(rep.refail_count(), 1);
+        let second = &rep.outages_of(TaskIndex(2))[1];
+        assert!(second.open() && second.detected());
+        assert_eq!(
+            rep.outages[0].records[0].latency(),
+            Some(SimDuration::from_secs(10))
+        );
+        assert_eq!(rep.outages[0].refail_count(), 1);
+        assert!(rep.outages[0].current().unwrap().open());
+        // The MAX sentinel reads as "not yet detected".
+        let undetected = OutageRecord {
+            via_replica: false,
+            failed_at: SimTime::from_secs(1),
+            detected_at: SimTime::MAX,
+            recovered_at: None,
+        };
+        assert!(!undetected.detected());
     }
 
     #[test]

@@ -33,7 +33,9 @@ use crate::error::EngineError;
 use crate::feed::FaultFeed;
 use crate::placement::{plan_evacuation, MoveRole, NodeId, Placement};
 use crate::query::Query;
-use crate::report::{CpuStats, RunReport, SinkBatch, TaskRecovery};
+use crate::report::{
+    CpuStats, Lifecycle, OutageRecord, RunReport, SinkBatch, TaskOutages, TaskRecovery,
+};
 use crate::tuple::{route, Tuple};
 use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
 use ppa_core::model::{TaskGraph, TaskIndex};
@@ -192,9 +194,22 @@ pub struct Simulation {
     node_busy: Vec<SimTime>,
     node_alive: Vec<bool>,
     failures: Vec<FailureSpec>,
-    recoveries: Vec<TaskRecovery>,
-    /// Index into `recoveries` per logical task.
-    recovery_of: Vec<Option<usize>>,
+    /// Per-task outage histories in first-failure order — the source of
+    /// truth behind both the report's `outages` and its derived first-
+    /// outage `recoveries` view.
+    outages: Vec<TaskOutages>,
+    /// Index into `outages` per logical task.
+    outage_of: Vec<Option<usize>>,
+    /// Lifecycle state of every logical task
+    /// (`Healthy → Failed → Replaying → Recovered → ReFailed → …`).
+    lifecycle: Vec<Lifecycle>,
+    /// Monotone count of recovery setbacks: re-failures (a new outage
+    /// record beyond a task's first), deaths that re-arm an open record
+    /// mid-recovery, and pending takeovers lost to a muted replica's
+    /// death. The policy-facing "something went backwards" signal —
+    /// strictly more sensitive than comparing outage counts, which miss
+    /// the re-arm cases.
+    recovery_setbacks: usize,
     sink: Vec<SinkBatch>,
     events: u64,
     /// Fresh-UDF factories for Storm restarts, one per logical task.
@@ -361,8 +376,10 @@ impl Simulation {
             node_busy: vec![SimTime::ZERO; placement.n_nodes()],
             node_alive: vec![true; placement.n_nodes()],
             failures: Vec::new(),
-            recoveries: Vec::new(),
-            recovery_of: vec![None; n],
+            outages: Vec::new(),
+            outage_of: vec![None; n],
+            lifecycle: vec![Lifecycle::Healthy; n],
+            recovery_setbacks: 0,
             sink: Vec::new(),
             events: 0,
             tasks,
@@ -429,8 +446,13 @@ impl Simulation {
 
     /// Registers a failure injection (before or during a run). Malformed
     /// specs — a node the cluster does not have, an instant before the
-    /// simulation's current time — surface as typed [`EngineError`]s
-    /// instead of panicking deep inside the event loop.
+    /// simulation's current time, a node that is already dead at injection
+    /// time (e.g. the node an activated replica died on) — surface as
+    /// typed [`EngineError`]s instead of panicking deep inside the event
+    /// loop or silently short-circuiting at fire time. (Events injected
+    /// while their nodes are still alive may still find them dead when
+    /// they fire — an earlier event killed them first — and those are
+    /// skipped, so replayed traces with overlapping kill sets stay valid.)
     pub fn inject(&mut self, spec: FailureSpec) -> Result<(), EngineError> {
         let now = self.sched.now();
         if spec.at < now {
@@ -439,6 +461,9 @@ impl Simulation {
         let n_nodes = self.placement.n_nodes();
         if let Some(&node) = spec.nodes.iter().find(|&&n| n >= n_nodes) {
             return Err(EngineError::NodeOutOfRange { node, n_nodes });
+        }
+        if let Some(&node) = spec.nodes.iter().find(|&&n| !self.node_alive[n]) {
+            return Err(EngineError::NodeAlreadyDead { node });
         }
         let at = spec.at;
         self.failures.push(spec);
@@ -487,7 +512,24 @@ impl Simulation {
     /// The report of everything measured so far, ended at `until`.
     fn report_at(&self, until: SimTime) -> RunReport {
         RunReport {
-            recoveries: self.recoveries.clone(),
+            // The backward-compatible one-failure-per-task view: each
+            // task's FIRST outage, in first-failure order (identical to
+            // the historical `recoveries` for single-failure runs).
+            recoveries: self
+                .outages
+                .iter()
+                .map(|o| {
+                    let first = &o.records[0];
+                    TaskRecovery {
+                        task: o.task,
+                        via_replica: first.via_replica,
+                        failed_at: first.failed_at,
+                        detected_at: first.detected_at,
+                        recovered_at: first.recovered_at,
+                    }
+                })
+                .collect(),
+            outages: self.outages.clone(),
             sink: self.sink.clone(),
             cpu: self.tasks[..self.graph.n_tasks()]
                 .iter()
@@ -599,7 +641,9 @@ impl Simulation {
     }
 
     /// The cluster's health as a policy sees it at `at`: the placement's
-    /// fault-domain tree plus every domain's time-decayed failure score.
+    /// fault-domain tree, every domain's time-decayed failure score, and
+    /// every task's lifecycle state + outage count — so policies observe
+    /// re-failures as first-class events, not just node deaths.
     pub fn health_view(&self, at: SimTime) -> HealthView<'_> {
         HealthView::new(
             at,
@@ -608,12 +652,95 @@ impl Simulation {
                 .as_ref()
                 .map(|h| h.snapshot(at))
                 .unwrap_or_default(),
+            self.lifecycle.clone(),
+            self.outage_of
+                .iter()
+                .map(|o| o.map_or(0, |i| self.outages[i].records.len()))
+                .collect(),
+            self.recovery_setbacks,
         )
     }
 
     /// The currently adopted active-replication plan.
     pub fn active_plan(&self) -> &TaskSet {
         &self.active_plan
+    }
+
+    /// The lifecycle state of every logical task, indexed by task.
+    pub fn lifecycles(&self) -> &[Lifecycle] {
+        &self.lifecycle
+    }
+
+    // ------------------------------------------------------------------
+    // Outage bookkeeping: the replica lifecycle state machine
+    // ------------------------------------------------------------------
+
+    /// The current (most recent) outage record of task `t`.
+    fn current_outage(&self, t: usize) -> Option<&OutageRecord> {
+        self.outage_of[t].and_then(|i| self.outages[i].records.last())
+    }
+
+    fn current_outage_mut(&mut self, t: usize) -> Option<&mut OutageRecord> {
+        let i = self.outage_of[t]?;
+        self.outages[i].records.last_mut()
+    }
+
+    /// Opens (or re-arms) an outage for task `t`: a healthy or recovered
+    /// task gets a fresh record (`Failed` / `ReFailed`); a task dying
+    /// again mid-recovery keeps its open record but loses its detection —
+    /// the master must re-detect and restart the recovery path.
+    fn open_outage(&mut self, t: usize, now: SimTime) {
+        let idx = match self.outage_of[t] {
+            Some(i) => i,
+            None => {
+                let i = self.outages.len();
+                self.outages.push(TaskOutages {
+                    task: TaskIndex(t),
+                    records: Vec::new(),
+                });
+                self.outage_of[t] = Some(i);
+                i
+            }
+        };
+        let records = &mut self.outages[idx].records;
+        let setback = match records.last_mut() {
+            Some(last) if last.open() => {
+                // Died again mid-recovery: the outage continues, but the
+                // recovery path (and any pending takeover) is void.
+                last.detected_at = SimTime::MAX;
+                last.via_replica = false;
+                true
+            }
+            _ => {
+                records.push(OutageRecord {
+                    via_replica: false,
+                    failed_at: now,
+                    detected_at: SimTime::MAX,
+                    recovered_at: None,
+                });
+                records.len() > 1
+            }
+        };
+        let n_records = records.len();
+        if setback {
+            self.recovery_setbacks += 1;
+        }
+        self.lifecycle[t] = if n_records > 1 {
+            Lifecycle::ReFailed
+        } else {
+            Lifecycle::Failed
+        };
+    }
+
+    /// Marks task `t`'s current outage recovered at `at` (idempotent per
+    /// outage) and moves its lifecycle to `Recovered`.
+    fn mark_recovered(&mut self, t: usize, at: SimTime) {
+        if let Some(rec) = self.current_outage_mut(t) {
+            if rec.recovered_at.is_none() {
+                rec.recovered_at = Some(at);
+            }
+            self.lifecycle[t] = Lifecycle::Recovered;
+        }
     }
 
     /// The task graph the simulation runs.
@@ -694,12 +821,19 @@ impl Simulation {
         // per-domain failure sets, the *currently dead* tasks form one
         // more candidate set — a plan that abandons an already-down task
         // is scored as losing it, so replans keep covering the actual
-        // outage while re-hedging the surviving domains.
+        // outage while re-hedging the surviving domains. A task in an
+        // open outage counts as dead even while its restore is replaying:
+        // a re-failed task (its activated replica died) is in exactly
+        // this position, and the replan is what re-establishes its way
+        // back.
         let n = self.graph.n_tasks();
         let dead = TaskSet::from_tasks(
             n,
             (0..n)
-                .filter(|&t| self.tasks[t].status == Status::Dead)
+                .filter(|&t| {
+                    self.tasks[t].status == Status::Dead
+                        || self.current_outage(t).is_some_and(OutageRecord::open)
+                })
                 .map(TaskIndex),
         );
         let cx = if dead.is_empty() {
@@ -948,16 +1082,15 @@ impl Simulation {
         }
 
         // A replica established for a dead, already-detected task is a
-        // late takeover: schedule it once the state ship lands. This
-        // also covers a task whose *previous* activated replica died —
-        // its recovery record says recovered, but the stream is headless
-        // until this replica's takeover re-enables it.
-        if self.tasks[t].status == Status::Dead {
-            if let Some(ri) = self.recovery_of[t] {
-                if self.recoveries[ri].detected_at != SimTime::MAX {
-                    self.sched.at(finish, Event::TakeoverDone { logical: t });
-                }
-            }
+        // late takeover: schedule it once the state ship lands. This also
+        // covers a task whose *previous* activated replica died — its
+        // current (re-failure) outage, once detected, is closed by this
+        // replica's takeover. A not-yet-detected outage waits for the
+        // heartbeat scan, whose start_recovery finds this replica running.
+        if self.tasks[t].status == Status::Dead
+            && self.current_outage(t).is_some_and(OutageRecord::detected)
+        {
+            self.sched.at(finish, Event::TakeoverDone { logical: t });
         }
         true
     }
@@ -1368,11 +1501,7 @@ impl Simulation {
                 if self.tasks[rt].next_batch >= pre {
                     self.tasks[rt].status = Status::Running;
                     let logical = self.tasks[rt].logical;
-                    if let Some(ri) = self.recovery_of[logical.0] {
-                        if self.recoveries[ri].recovered_at.is_none() {
-                            self.recoveries[ri].recovered_at = Some(finish);
-                        }
-                    }
+                    self.mark_recovered(logical.0, finish);
                 }
             }
         }
@@ -1543,31 +1672,55 @@ impl Simulation {
         let now = self.sched.now();
         for node in nodes {
             if !self.node_alive[node] {
-                continue;
+                continue; // an earlier trace event already killed it
             }
             self.node_alive[node] = false;
             self.record_domain_failure(node, now);
             for rt in 0..self.tasks.len() {
-                if self.tasks[rt].node == node && self.tasks[rt].status != Status::Dead {
+                if self.tasks[rt].node != node || self.tasks[rt].status == Status::Dead {
+                    continue;
+                }
+                let progress = {
                     let task = &mut self.tasks[rt];
                     task.status = Status::Dead;
                     task.pre_failure_progress = Some(task.next_batch);
                     for s in &mut task.staged {
                         s.clear();
                     }
-                    if !task.is_replica {
-                        // Provisional record; detection fills the rest.
-                        let logical = task.logical;
-                        if self.recovery_of[logical.0].is_none() {
-                            self.recovery_of[logical.0] = Some(self.recoveries.len());
-                            self.recoveries.push(TaskRecovery {
-                                task: logical,
-                                via_replica: false,
-                                failed_at: now,
-                                detected_at: SimTime::MAX,
-                                recovered_at: None,
-                            });
+                    task.next_batch
+                };
+                let logical = self.tasks[rt].logical.0;
+                if !self.tasks[rt].is_replica {
+                    // The primary incarnation died: a first failure, a
+                    // checkpoint-restored task dying again (fresh
+                    // outage), or a death mid-restore (the open outage
+                    // is re-armed for re-detection).
+                    self.open_outage(logical, now);
+                } else if self.replica_slot[logical] == Some(rt) {
+                    if self.tasks[rt].outputs_enabled {
+                        // An *activated* replica died: the logical task
+                        // is headless again. Open a fresh outage measured
+                        // against the replica's progress — re-detection,
+                        // re-proxying and a fresh recovery latency follow
+                        // instead of the task silently counting as
+                        // recovered forever.
+                        self.tasks[logical].pre_failure_progress = Some(progress);
+                        self.open_outage(logical, now);
+                    } else if self.tasks[logical].status == Status::Dead
+                        && self
+                            .current_outage(logical)
+                            .is_some_and(|rec| rec.open() && rec.detected())
+                    {
+                        // A muted replica with a pending takeover died
+                        // mid-recovery (the primary is still down and no
+                        // restore is in flight): fall straight back to
+                        // the passive path — the scheduled takeover will
+                        // find the slot dead and do nothing.
+                        if let Some(rec) = self.current_outage_mut(logical) {
+                            rec.via_replica = false;
                         }
+                        self.recovery_setbacks += 1;
+                        self.start_recovery(logical);
                     }
                 }
             }
@@ -1601,13 +1754,17 @@ impl Simulation {
             if self.tasks[t].status != Status::Dead {
                 continue;
             }
-            let Some(ri) = self.recovery_of[t] else {
-                continue;
-            };
-            if self.recoveries[ri].detected_at != SimTime::MAX {
-                continue; // already handled
+            // Detect the task's *current* outage — a re-failed task (its
+            // activated replica died) re-enters here with a fresh record.
+            let undetected = self
+                .current_outage(t)
+                .is_some_and(|rec| rec.open() && !rec.detected());
+            if !undetected {
+                continue; // never failed, already detected, or recovered
             }
-            self.recoveries[ri].detected_at = now;
+            if let Some(rec) = self.current_outage_mut(t) {
+                rec.detected_at = now;
+            }
             self.start_recovery(t);
         }
     }
@@ -1624,9 +1781,10 @@ impl Simulation {
                             + self.config.costs.batch_overhead;
                         let node = self.tasks[slot].node;
                         let finish = self.reserve(node, work);
-                        if let Some(ri) = self.recovery_of[t] {
-                            self.recoveries[ri].via_replica = true;
+                        if let Some(rec) = self.current_outage_mut(t) {
+                            rec.via_replica = true;
                         }
+                        self.lifecycle[t] = Lifecycle::Replaying;
                         self.sched.at(finish, Event::TakeoverDone { logical: t });
                         return;
                     }
@@ -1635,7 +1793,9 @@ impl Simulation {
                 if !self.config.passive_recovery {
                     return; // held down for steady-state tentative sampling
                 }
-                let standby = self.placement.standby[t];
+                let Some(standby) = self.recovery_node(t) else {
+                    return; // nowhere alive to restore — the outage stays open
+                };
                 let state = self.tasks[t]
                     .checkpoint
                     .as_ref()
@@ -1644,6 +1804,7 @@ impl Simulation {
                     + self.config.costs.batch_overhead;
                 self.tasks[t].status = Status::Restoring;
                 self.tasks[t].node = standby;
+                self.lifecycle[t] = Lifecycle::Replaying;
                 let finish = self.reserve(standby, work);
                 self.sched.at(finish, Event::RestoreDone { rt: t });
             }
@@ -1651,9 +1812,12 @@ impl Simulation {
                 if !self.config.passive_recovery {
                     return;
                 }
-                let standby = self.placement.standby[t];
+                let Some(standby) = self.recovery_node(t) else {
+                    return; // nowhere alive to restart — the outage stays open
+                };
                 self.tasks[t].status = Status::Restoring;
                 self.tasks[t].node = standby;
+                self.lifecycle[t] = Lifecycle::Replaying;
                 let work = self.config.costs.batch_overhead;
                 let finish = self.reserve(standby, work);
                 self.sched.at(finish, Event::RestoreDone { rt: t });
@@ -1661,7 +1825,30 @@ impl Simulation {
         }
     }
 
+    /// The node a passive recovery restores task `t` onto: its configured
+    /// standby, or — when the standby is dead too (e.g. it hosted the
+    /// activated replica that just died) — the least-loaded *alive*
+    /// standby-range node, standing in for the master re-assigning the
+    /// task. `None` when every candidate is dead: the outage stays open
+    /// instead of the task "recovering" on a dead machine (which would
+    /// also make it unkillable for the rest of the run).
+    fn recovery_node(&self, t: usize) -> Option<NodeId> {
+        let standby = self.placement.standby[t];
+        if self.node_alive[standby] {
+            return Some(standby);
+        }
+        (self.placement.n_workers..self.placement.n_nodes())
+            .filter(|&n| self.node_alive[n])
+            .min_by_key(|&n| (self.node_busy[n], n))
+    }
+
     fn on_restore_done(&mut self, rt: Rt) {
+        // A restore whose target died again mid-load is void — the open
+        // outage was re-armed and the re-detection path owns the task now
+        // (resurrecting it here would run it on a dead node).
+        if self.tasks[rt].status != Status::Restoring {
+            return;
+        }
         match &self.config.mode {
             FtMode::Ppa { .. } => self.restore_from_checkpoint(rt),
             FtMode::SourceReplay { .. } => self.restore_storm(rt),
@@ -1713,12 +1900,8 @@ impl Simulation {
             }
             self.tasks[rt].status = Status::Running;
             let logical = self.tasks[rt].logical;
-            if let Some(ri) = self.recovery_of[logical.0] {
-                if self.recoveries[ri].recovered_at.is_none() {
-                    let at = self.node_busy[self.tasks[rt].node].max(now);
-                    self.recoveries[ri].recovered_at = Some(at);
-                }
-            }
+            let at = self.node_busy[self.tasks[rt].node].max(now);
+            self.mark_recovered(logical.0, at);
             return;
         }
 
@@ -1776,12 +1959,8 @@ impl Simulation {
                 self.generate_source_batch(rt, b, true);
             }
             self.tasks[rt].status = Status::Running;
-            if let Some(ri) = self.recovery_of[logical.0] {
-                if self.recoveries[ri].recovered_at.is_none() {
-                    self.recoveries[ri].recovered_at =
-                        Some(self.node_busy[self.tasks[rt].node].max(now));
-                }
-            }
+            let at = self.node_busy[self.tasks[rt].node].max(now);
+            self.mark_recovered(logical.0, at);
             return;
         }
         // Sources replay their buffered window through the topology toward
@@ -1884,12 +2063,10 @@ impl Simulation {
         let pending = std::mem::take(&mut self.tasks[slot].pending_sink);
         self.sink
             .extend(pending.into_iter().filter(|s| s.batch >= cut));
-        if let Some(ri) = self.recovery_of[logical] {
-            self.recoveries[ri].via_replica = true;
-            if self.recoveries[ri].recovered_at.is_none() {
-                self.recoveries[ri].recovered_at = Some(now);
-            }
+        if let Some(rec) = self.current_outage_mut(logical) {
+            rec.via_replica = true;
         }
+        self.mark_recovered(logical, now);
     }
 
     // ------------------------------------------------------------------
@@ -1915,12 +2092,13 @@ impl Simulation {
                     continue; // replica continues the stream
                 }
             }
-            let Some(ri) = self.recovery_of[t] else {
+            // Proxy the task's *current* outage: a re-failed task (its
+            // activated replica died) is proxied again once re-detected,
+            // exactly like a first failure.
+            let Some(rec) = self.current_outage(t) else {
                 continue;
             };
-            if self.recoveries[ri].detected_at == SimTime::MAX
-                || self.recoveries[ri].recovered_at.is_some()
-            {
+            if !rec.detected() || !rec.open() {
                 continue;
             }
             let targets: Vec<(TaskIndex, usize)> = self.tasks[t]

@@ -70,6 +70,31 @@ fn chain_query(per_batch: usize, window_batches: u64) -> Query {
     q.build().unwrap()
 }
 
+/// source(12) -> mid(12, one-to-one) -> sink(1, merge): twelve identical
+/// stateful mids, for aggregate-migration accounting.
+fn wide_query(per_batch: usize, window_batches: u64) -> Query {
+    let mut q = QueryBuilder::new();
+    let s = q.add_source(
+        OperatorSpec::source("src", 12, per_batch as f64),
+        move |task| {
+            Box::new(CountingSource {
+                per_batch,
+                seed: 2000 + task as u64,
+                key_space: 256,
+            })
+        },
+    );
+    let m = q.add_operator(OperatorSpec::map("mid", 12, 1.0), move |_| {
+        Box::new(WindowedPass::new(window_batches))
+    });
+    let k = q.add_operator(OperatorSpec::map("sink", 1, 1.0), move |_| {
+        Box::new(WindowedPass::new(window_batches))
+    });
+    q.connect(s, m, Partitioning::OneToOne).unwrap();
+    q.connect(m, k, Partitioning::Merge).unwrap();
+    q.build().unwrap()
+}
+
 fn one_task_per_node(q: &Query) -> Placement {
     let graph = ppa_core::model::TaskGraph::new(q.topology().clone());
     let n = graph.n_tasks();
@@ -1000,6 +1025,310 @@ fn source_generator_is_reclaimed_from_a_dead_replica_slot() {
         .expect("source failure recorded");
     assert!(r.via_replica, "{r:?}");
     assert!(r.recovered_at.is_some(), "{r:?}");
+}
+
+/// Policy that orders one whole-domain evacuation at its first epoch.
+struct EvacuateOnce {
+    domain: ppa_faults::DomainId,
+    fired: bool,
+}
+
+impl crate::control::ControlPolicy for EvacuateOnce {
+    fn name(&self) -> &'static str {
+        "evacuate-once"
+    }
+
+    fn epoch_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(20))
+    }
+
+    fn on_epoch(
+        &mut self,
+        _view: &crate::control::HealthView<'_>,
+    ) -> Vec<crate::control::ControlAction> {
+        if self.fired {
+            return Vec::new();
+        }
+        self.fired = true;
+        vec![crate::control::ControlAction::MigrateTasks {
+            domains: vec![self.domain],
+        }]
+    }
+}
+
+#[test]
+fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() {
+    // Executable expectation for the ROADMAP's migration-admission-control
+    // follow-on: when a whole 12-node domain evacuates in one epoch, the
+    // engine charges the aggregate state-ship CPU of every hosted task in
+    // that same epoch — exactly 6x the 2-node evacuation of the identical
+    // layout. Nothing bounds the per-epoch total today; an admission
+    // control would cap it and spread the excess across epochs (flipping
+    // the equality below into a `<`).
+    let evacuate = |rack_size: usize| {
+        let q = wide_query(100, 5);
+        let n = 25;
+        // Sources on nodes 12..24, the twelve mids on nodes 0..12 (the
+        // domain under test), sink on node 24; standbys one per task.
+        let primary: Vec<usize> = (0..n)
+            .map(|t| match t {
+                t if t < 12 => 12 + t,
+                t if t < 24 => t - 12,
+                _ => 24,
+            })
+            .collect();
+        let standby: Vec<usize> = (0..n).map(|t| 25 + t).collect();
+        let placement = Placement::explicit(primary, standby, 25, 25)
+            .unwrap()
+            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+                &(0..12).collect::<Vec<_>>(),
+                rack_size,
+            ))
+            .unwrap();
+        let mut sim = Simulation::new(
+            &q,
+            placement,
+            base_config(FtMode::checkpoint(n, SimDuration::from_secs(5))),
+        );
+        let domain = sim.placement().domain_of(0).unwrap();
+        let mut policy = EvacuateOnce {
+            domain,
+            fired: false,
+        };
+        sim.drive(&FaultFeed::new(), &mut policy, SimTime::from_secs(40))
+            .unwrap()
+    };
+    let whole = evacuate(12);
+    let pair = evacuate(2);
+    assert_eq!(whole.tasks_migrated(), 12, "{:?}", whole.actions);
+    assert_eq!(pair.tasks_migrated(), 2, "{:?}", pair.actions);
+    // Identical mids evacuated at the same epoch: the aggregate CPU is
+    // exactly linear in the domain size — unbounded by anything.
+    assert_eq!(
+        whole.control_cpu.as_micros(),
+        6 * pair.control_cpu.as_micros(),
+        "whole {} vs pair {}",
+        whole.control_cpu,
+        pair.control_cpu
+    );
+    // And every move shipped real window state on top of its overhead.
+    let floor = EngineConfig::default().costs.batch_overhead.as_micros() * 12;
+    assert!(
+        whole.control_cpu.as_micros() > floor,
+        "12 moves must ship state beyond {floor}µs of overhead, got {}",
+        whole.control_cpu
+    );
+}
+
+#[test]
+fn replica_death_after_takeover_opens_second_outage() {
+    // Kill a primary, let its replica take over, then kill the replica's
+    // node: the task must re-enter the outage path with a second
+    // OutageRecord — re-detection, re-proxying, and a fresh recovery via
+    // checkpoint fallback — instead of silently counting as recovered.
+    let q = chain_query(100, 10);
+    let mut sim = Simulation::new(
+        &q,
+        one_task_per_node(&q),
+        base_config(FtMode::Ppa {
+            plan: TaskSet::full(5),
+            checkpoint_interval: Some(SimDuration::from_secs(5)),
+        }),
+    );
+    // Task 2's primary is on node 2; its replica on standby node 7.
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(14),
+        nodes: vec![node_of(2)],
+    })
+    .unwrap();
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(31),
+        nodes: vec![7],
+    })
+    .unwrap();
+    let report = sim.run_until(SimTime::from_secs(90));
+
+    let outages = report.outages_of(TaskIndex(2));
+    assert_eq!(outages.len(), 2, "two distinct outages: {outages:?}");
+    assert_eq!(report.refail_count(), 1);
+    let (first, second) = (&outages[0], &outages[1]);
+    // First outage: replica takeover, near-instant.
+    assert!(first.via_replica);
+    assert_eq!(first.failed_at, SimTime::from_secs(14));
+    assert_eq!(first.detected_at, SimTime::from_secs(15));
+    let first_latency = first.latency().expect("first outage recovered");
+    // Second outage: the activated replica died — checkpoint fallback.
+    assert!(
+        !second.via_replica,
+        "replica died; passive path: {second:?}"
+    );
+    assert_eq!(second.failed_at, SimTime::from_secs(31));
+    assert_eq!(second.detected_at, SimTime::from_secs(35));
+    let second_latency = second.latency().expect("second outage recovered");
+    assert_ne!(
+        first_latency, second_latency,
+        "each outage carries its own recovery latency"
+    );
+    assert!(
+        second_latency > first_latency,
+        "checkpoint replay ({second_latency}) must be slower than takeover \
+         ({first_latency})"
+    );
+    // Per-record ordering invariant.
+    for rec in outages {
+        assert!(rec.failed_at <= rec.detected_at);
+        assert!(rec.recovered_at.unwrap() >= rec.detected_at);
+    }
+    // The backward-compatible view exposes exactly the FIRST outage.
+    let r = report
+        .recoveries
+        .iter()
+        .find(|r| r.task == TaskIndex(2))
+        .unwrap();
+    assert_eq!(r.detected_at, first.detected_at);
+    assert_eq!(r.recovered_at, first.recovered_at);
+    assert!(r.via_replica);
+
+    // During the second outage the sink keeps producing degraded output:
+    // half the volume (mid 2 lost again), flagged tentative — the lost
+    // share is honestly missing, not papered over by a stalled sink.
+    let second_recovered = second.recovered_at.unwrap();
+    let tentative: Vec<_> = report
+        .sink
+        .iter()
+        .filter(|s| s.tentative && s.at >= second.detected_at && s.at <= second_recovered)
+        .collect();
+    assert!(
+        !tentative.is_empty(),
+        "re-detected task must be re-proxied: tentative output flows again"
+    );
+    assert!(tentative.iter().all(|s| s.tuples.len() == 100));
+    assert_eq!(
+        report.first_tentative_after(second.detected_at).unwrap(),
+        tentative[0].at
+    );
+    assert!(tentative[0].at < second_recovered);
+}
+
+#[test]
+fn refailed_task_recovers_via_reestablished_replica() {
+    // The control-plane variant of the second recovery: passive recovery
+    // held down, so a re-failed task comes back only if the policy
+    // re-homes its dead standby and re-establishes the replica.
+    let q = chain_query(100, 5);
+    // Every node is its own rack, so the policy reacts to exactly the
+    // failed node's domain.
+    let placed = || {
+        one_task_per_node(&q)
+            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+                &(0..10).collect::<Vec<_>>(),
+                1,
+            ))
+            .expect("tree covers the cluster")
+    };
+    let config = || {
+        let mut c = base_config(FtMode::Ppa {
+            plan: TaskSet::full(5),
+            checkpoint_interval: Some(SimDuration::from_secs(5)),
+        });
+        c.passive_recovery = false;
+        c
+    };
+    let feed = || {
+        FaultFeed::new()
+            .with_spec(FailureSpec {
+                at: SimTime::from_secs(20),
+                nodes: vec![node_of(2)],
+            })
+            .with_spec(FailureSpec {
+                at: SimTime::from_secs(40),
+                nodes: vec![7], // the activated replica's node
+            })
+    };
+    let until = SimTime::from_secs(90);
+
+    // Static: the second outage stays open — honest, not papered over.
+    let mut static_sim = Simulation::new(&q, placed(), config());
+    let static_run = static_sim
+        .drive(&feed(), &mut crate::control::StaticPolicy, until)
+        .unwrap();
+    let outages = static_run.report.outages_of(TaskIndex(2));
+    assert_eq!(outages.len(), 2, "{outages:?}");
+    assert!(outages[0].via_replica && !outages[0].open());
+    assert!(
+        outages[1].open(),
+        "static + no passive recovery: the re-failure stays down: {outages:?}"
+    );
+    assert!(outages[1].detected(), "but it IS re-detected");
+    assert_eq!(
+        static_sim.lifecycles()[2],
+        crate::report::Lifecycle::ReFailed
+    );
+
+    // Domain-health: re-home the dead standby, re-establish the replica,
+    // close the second outage via a late takeover.
+    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut policy = crate::control::DomainHealthPolicy::new(Some(5));
+    policy.migrate_radius = 0;
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
+    let outages = adaptive_run.report.outages_of(TaskIndex(2));
+    assert_eq!(outages.len(), 2, "{outages:?}");
+    let second = &outages[1];
+    assert!(
+        second.recovered_at.is_some(),
+        "re-established replica must close the second outage: {second:?}"
+    );
+    assert!(second.via_replica, "{second:?}");
+    assert_ne!(adaptive_sim.placement().standby[2], 7, "standby re-homed");
+    assert!(adaptive_run.replicas_activated() >= 1);
+    assert_eq!(
+        adaptive_sim.lifecycles()[2],
+        crate::report::Lifecycle::Recovered
+    );
+}
+
+#[test]
+fn inject_rejects_nodes_already_dead() {
+    // After an activated replica dies on node 7, injecting another
+    // failure naming node 7 used to short-circuit silently at fire time;
+    // it now surfaces the typed error at injection time.
+    let q = chain_query(50, 5);
+    let mut sim = Simulation::new(&q, one_task_per_node(&q), base_config(FtMode::active(5)));
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(10),
+        nodes: vec![node_of(2)],
+    })
+    .unwrap();
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(20),
+        nodes: vec![7],
+    })
+    .unwrap();
+    let _ = sim.run_until(SimTime::from_secs(30));
+    assert_eq!(
+        sim.inject(FailureSpec {
+            at: SimTime::from_secs(40),
+            nodes: vec![7],
+        })
+        .unwrap_err(),
+        crate::error::EngineError::NodeAlreadyDead { node: 7 }
+    );
+    // A domain kill expanding to a dead node is rejected the same way.
+    // (Node 2 died with the primary; its rack is half dead.)
+    assert_eq!(
+        sim.inject(FailureSpec {
+            at: SimTime::from_secs(40),
+            nodes: vec![8, 2],
+        })
+        .unwrap_err(),
+        crate::error::EngineError::NodeAlreadyDead { node: 2 }
+    );
+    // Alive nodes still inject fine.
+    sim.inject(FailureSpec {
+        at: SimTime::from_secs(40),
+        nodes: vec![8],
+    })
+    .unwrap();
 }
 
 #[test]

@@ -130,6 +130,53 @@ pub fn batch_fidelity(
     per_batch.iter().sum::<f64>() / per_batch.len() as f64
 }
 
+/// Batch windows attributing output to outages: every distinct outage
+/// onset across the run's per-task outage histories (the batch in flight
+/// when that failure hit) opens a window, closed by the next onset; the
+/// last window closes at `horizon`. `batch_interval` converts failure
+/// instants to batch ids.
+///
+/// Before outage histories existed, a run had one undifferentiated
+/// "post-failure" window, so output lost to a *second* outage (an
+/// activated replica dying) was silently averaged into the first
+/// outage's score. Windowing by onset lets [`batch_fidelity`] charge
+/// each loss to the outage that caused it.
+pub fn outage_windows(
+    run: &RunReport,
+    batch_interval: ppa_sim::SimDuration,
+    horizon: u64,
+) -> Vec<(u64, u64)> {
+    let per_batch = batch_interval.as_micros().max(1);
+    let onsets: BTreeSet<u64> = run
+        .outages
+        .iter()
+        .flat_map(|o| o.records.iter())
+        .map(|rec| rec.failed_at.as_micros() / per_batch)
+        .filter(|&b| b < horizon)
+        .collect();
+    let onsets: Vec<u64> = onsets.into_iter().collect();
+    onsets
+        .iter()
+        .enumerate()
+        .map(|(i, &from)| (from, onsets.get(i + 1).copied().unwrap_or(horizon)))
+        .collect()
+}
+
+/// [`batch_fidelity`] over each window of `windows` — one score per
+/// outage window, so late output is attributed to the outage it belongs
+/// to instead of diluting its neighbours.
+pub fn outage_fidelity(
+    golden: &RunReport,
+    run: &RunReport,
+    windows: &[(u64, u64)],
+    lateness: ppa_sim::SimDuration,
+) -> Vec<f64> {
+    windows
+        .iter()
+        .map(|&(from, to)| batch_fidelity(golden, run, from, to, lateness))
+        .collect()
+}
+
 /// Q2 accuracy: overlap of detected incident sets `(segment, incident)` in
 /// the window — `|IT ∩ IA| / |IA|`.
 pub fn incident_accuracy(
@@ -304,6 +351,48 @@ mod tests {
         // A generous deadline admits it again.
         let generous = ppa_sim::SimDuration::from_secs(60);
         assert_eq!(batch_fidelity(&g, &late, 0, 10, generous), 1.0);
+    }
+
+    #[test]
+    fn outage_windows_split_at_each_onset() {
+        use ppa_engine::{OutageRecord, TaskOutages};
+        let rec = |failed: u64| OutageRecord {
+            via_replica: false,
+            failed_at: SimTime::from_secs(failed),
+            detected_at: SimTime::from_secs(failed + 5),
+            recovered_at: None,
+        };
+        let mut run = RunReport::default();
+        run.outages.push(TaskOutages {
+            task: TaskIndex(1),
+            records: vec![rec(40), rec(70)],
+        });
+        run.outages.push(TaskOutages {
+            task: TaskIndex(2),
+            records: vec![rec(40)], // same wave: onset deduplicated
+        });
+        let b = ppa_sim::SimDuration::from_secs(1);
+        assert_eq!(outage_windows(&run, b, 100), vec![(40, 70), (70, 100)]);
+        // Onsets at or past the horizon are dropped.
+        assert_eq!(outage_windows(&run, b, 60), vec![(40, 60)]);
+        // No outages, no windows.
+        assert!(outage_windows(&RunReport::default(), b, 100).is_empty());
+    }
+
+    #[test]
+    fn outage_fidelity_charges_each_window_separately() {
+        let key = Tuple::key_only;
+        let g = report_with((4..8).map(|b| (b, vec![key(1), key(2)])).collect());
+        // Batches 4-5 delivered on time; 6-7 lost to a second outage.
+        let t = report_with(vec![(4, vec![key(1), key(2)]), (5, vec![key(1), key(2)])]);
+        let slack = ppa_sim::SimDuration::from_secs(5);
+        assert_eq!(
+            outage_fidelity(&g, &t, &[(4, 6), (6, 8)], slack),
+            vec![1.0, 0.0],
+            "the second outage's loss stays in its own window"
+        );
+        // One merged window blurs the same loss into an average.
+        assert!((batch_fidelity(&g, &t, 4, 8, slack) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod synthetic;
 pub mod worldcup;
 pub mod zipf;
 
-pub use accuracy::{batch_fidelity, incident_accuracy, sink_set_accuracy, topk_accuracy};
+pub use accuracy::{
+    batch_fidelity, incident_accuracy, outage_fidelity, outage_windows, sink_set_accuracy,
+    topk_accuracy,
+};
 pub use navigation::{q2_scenario, NavigationConfig};
 pub use synthetic::{fig6_scenario, Fig6Config};
 pub use worldcup::{q1_scenario, Q1Config};

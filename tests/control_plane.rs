@@ -208,6 +208,123 @@ fn drive_matches_run_trace_on_a_generated_cascade() {
 }
 
 #[test]
+fn outage_histories_are_consistent_under_repeat_kills() {
+    // Deterministic grid standing in for a proptest strategy: random
+    // multi-wave traces over the Fig. 6 scenario, with waves re-killing
+    // nodes of earlier waves and hitting the standby nodes where
+    // activated replicas live. For every task's outage history:
+    //
+    //   * every record satisfies failed_at ≤ detected_at ≤ recovered_at
+    //     (with the undetected/unrecovered tails allowed only on the
+    //     last, still-open record);
+    //   * histories are time-ordered and only ever extended after the
+    //     previous outage recovered;
+    //   * the report's `recoveries` view is exactly each history's first
+    //     record — so single-wave traces reproduce the historical
+    //     one-shot report (regression parity).
+    let mut total_refails = 0usize;
+    for waves in [1usize, 3] {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0x007a_6e00 ^ ((waves as u64) << 32) ^ seed);
+            let s = fig6_scenario(&quick_fig6());
+            let n = s.graph().n_tasks();
+            // Kill pool: the worker nodes plus every standby node hosting
+            // a replica — the nodes whose death causes re-failures.
+            let mut pool = s.worker_kill_set.clone();
+            pool.extend(s.placement.standby.iter().copied());
+            pool.sort_unstable();
+            pool.dedup();
+            let mut failures = Vec::new();
+            let mut at = 20u64;
+            for w in 0..waves {
+                at += rng.gen_range(5..20u64);
+                let k = rng.gen_range(1..5usize);
+                let mut nodes: Vec<usize> =
+                    (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+                if w > 0 {
+                    // Explicit repeat kill of an earlier wave's node.
+                    let prev: &ppa::engine::FailureSpec = &failures[w - 1];
+                    nodes.push(prev.nodes[0]);
+                    // And aim at the standby hosting the activated
+                    // replica of a first-wave victim — the re-failure
+                    // path under test.
+                    if let Some(&victim) = s.placement.tasks_on(failures[0].nodes[0]).first() {
+                        nodes.push(s.placement.standby[victim.0]);
+                    }
+                }
+                nodes.sort_unstable();
+                nodes.dedup();
+                failures.push(FailureSpec {
+                    at: SimTime::from_secs(at),
+                    nodes,
+                });
+            }
+            let config = EngineConfig {
+                mode: FtMode::ppa(TaskSet::full(n), SimDuration::from_secs(5)),
+                ..EngineConfig::default()
+            };
+            let report = Simulation::run(
+                &s.query,
+                s.placement.clone(),
+                config,
+                failures.clone(),
+                SimDuration::from_secs(100),
+            );
+
+            let label = format!("waves {waves} seed {seed} failures {failures:?}");
+            assert_eq!(
+                report.recoveries.len(),
+                report.outages.len(),
+                "one first-outage view per history: {label}"
+            );
+            for (view, history) in report.recoveries.iter().zip(&report.outages) {
+                assert!(!history.records.is_empty(), "{label}");
+                // The view is exactly the first record.
+                assert_eq!(view.task, history.task, "{label}");
+                let first = &history.records[0];
+                assert_eq!(view.via_replica, first.via_replica, "{label}");
+                assert_eq!(view.failed_at, first.failed_at, "{label}");
+                assert_eq!(view.detected_at, first.detected_at, "{label}");
+                assert_eq!(view.recovered_at, first.recovered_at, "{label}");
+                if waves == 1 {
+                    assert_eq!(
+                        history.records.len(),
+                        1,
+                        "single-wave histories are one-shot: {label}"
+                    );
+                }
+                for (i, rec) in history.records.iter().enumerate() {
+                    // Only the last record may still be open/undetected.
+                    if i + 1 < history.records.len() {
+                        assert!(rec.detected() && !rec.open(), "{label}: {history:?}");
+                    }
+                    if rec.detected() {
+                        assert!(rec.failed_at <= rec.detected_at, "{label}: {rec:?}");
+                    } else {
+                        assert!(rec.open(), "recovered but never detected: {rec:?}");
+                    }
+                    if let Some(recovered) = rec.recovered_at {
+                        assert!(rec.detected(), "{label}: {rec:?}");
+                        assert!(recovered >= rec.detected_at, "{label}: {rec:?}");
+                    }
+                    if i > 0 {
+                        assert!(
+                            rec.failed_at >= history.records[i - 1].failed_at,
+                            "history out of time order: {label}: {history:?}"
+                        );
+                    }
+                }
+                total_refails += history.refail_count();
+            }
+        }
+    }
+    assert!(
+        total_refails > 0,
+        "the grid must actually exercise re-failures"
+    );
+}
+
+#[test]
 fn health_decay_is_monotone_between_failures() {
     // Deterministic grid standing in for a proptest strategy: half-lives
     // × failure-count × seeds. After the last failure, sampling the

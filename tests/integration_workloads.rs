@@ -102,7 +102,8 @@ fn experiments_registry_is_complete() {
             "tentative",
             "corr_sweep",
             "placement_sweep",
-            "adaptive_sweep"
+            "adaptive_sweep",
+            "refail_sweep"
         ]
     );
 }
