@@ -86,8 +86,8 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Err(unknown) = ppa_bench::runner::select(&opts.only, opts.filter.as_deref()) {
-        eprintln!("no experiment matched {unknown:?}; known ids:");
+    if let Err(err) = ppa_bench::runner::select(&opts.only, opts.filter.as_deref()) {
+        eprintln!("{err}; known ids:");
         for e in registry() {
             eprintln!("  {:10} {}", e.id, e.description);
         }

@@ -9,10 +9,11 @@
 
 use crate::json::Json;
 use crate::pool::Gate;
+use crate::stopwatch::Stopwatch;
 use crate::{registry, Experiment, Figure};
 use ppa_engine::RunReport;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for one harness invocation.
 #[derive(Debug, Clone, Default)]
@@ -212,11 +213,38 @@ pub struct RunSummary {
     pub total_wall: Duration,
 }
 
+/// Why [`select`] could not produce a run list. The two cases need
+/// different advice — a typo'd id should be corrected against the known
+/// ids, while an over-narrow filter should be widened — so the CLI keeps
+/// them distinct instead of collapsing both into one string list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// Selectors naming no registered experiment (typos).
+    UnknownIds(Vec<String>),
+    /// The `--filter` substring matched none of the selected ids.
+    FilterMatchedNothing(String),
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::UnknownIds(ids) => {
+                write!(f, "unknown experiment id(s): {}", ids.join(", "))
+            }
+            SelectError::FilterMatchedNothing(needle) => {
+                write!(f, "--filter \"{needle}\" matched no experiment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
 /// Resolves `opts.only` against the registry, preserving registry order,
 /// then applies the optional case-insensitive id-substring `filter`.
-/// Returns the unknown ids (or a filter matching nothing, spelled
-/// `--filter <value>`) as `Err` so the CLI can report them.
-pub fn select(only: &[String], filter: Option<&str>) -> Result<Vec<Experiment>, Vec<String>> {
+/// Returns a [`SelectError`] naming the typo'd ids or the empty filter so
+/// the CLI can report them.
+pub fn select(only: &[String], filter: Option<&str>) -> Result<Vec<Experiment>, SelectError> {
     let all = registry();
     // Unknown ids are an error even alongside "all" — `reproduce all fgi08`
     // is a typo the user wants to hear about, not silently run everything.
@@ -226,7 +254,7 @@ pub fn select(only: &[String], filter: Option<&str>) -> Result<Vec<Experiment>, 
         .cloned()
         .collect();
     if !unknown.is_empty() {
-        return Err(unknown);
+        return Err(SelectError::UnknownIds(unknown));
     }
     let mut picked: Vec<Experiment> = if only.is_empty() || only.iter().any(|w| w == "all") {
         all
@@ -240,7 +268,7 @@ pub fn select(only: &[String], filter: Option<&str>) -> Result<Vec<Experiment>, 
         picked.retain(|e| e.id.contains(&needle));
         if picked.is_empty() {
             // A filter matching nothing is as loud as a typo'd id.
-            return Err(vec![format!("--filter {f}")]);
+            return Err(SelectError::FilterMatchedNothing(f.to_string()));
         }
     }
     Ok(picked)
@@ -253,7 +281,7 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
     let selected = select(&opts.only, opts.filter.as_deref()).expect("unknown experiment ids");
     let jobs = opts.effective_jobs();
     let gate = Arc::new(Gate::new(jobs));
-    let total_start = Instant::now();
+    let total_start = Stopwatch::start();
 
     let mut results: Vec<ExperimentResult> = Vec::with_capacity(selected.len());
     std::thread::scope(|scope| {
@@ -268,7 +296,7 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
                         eprintln!(">> running {}: {}", e.id, e.description);
                     }
                     let ctx = RunCtx::new(quick, gate);
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let figures = (e.run)(&ctx);
                     let wall = start.elapsed();
                     if progress {
@@ -347,12 +375,12 @@ mod tests {
         assert_eq!(repeated.iter().map(|e| e.id).collect::<Vec<_>>(), ["fig08"]);
         assert_eq!(
             select(&["nope".into()], None).unwrap_err(),
-            vec!["nope".to_string()]
+            SelectError::UnknownIds(vec!["nope".to_string()])
         );
         // A typo next to "all" is still an error, not a silent run-everything.
         assert_eq!(
             select(&["all".into(), "fgi08".into()], None).unwrap_err(),
-            vec!["fgi08".to_string()]
+            SelectError::UnknownIds(vec!["fgi08".to_string()])
         );
     }
 
@@ -372,14 +400,15 @@ mod tests {
         // Case-insensitive, composes with explicit ids.
         let one = select(&["fig08".into(), "corr_sweep".into()], Some("SWEEP")).unwrap();
         assert_eq!(one.iter().map(|e| e.id).collect::<Vec<_>>(), ["corr_sweep"]);
-        // A filter matching nothing is an error naming the filter.
+        // A filter matching nothing is an error naming the filter, kept
+        // apart from the unknown-id case so the CLI's advice differs.
         assert_eq!(
             select(&[], Some("zzz")).unwrap_err(),
-            vec!["--filter zzz".to_string()]
+            SelectError::FilterMatchedNothing("zzz".to_string())
         );
         assert_eq!(
             select(&["fig08".into()], Some("sweep")).unwrap_err(),
-            vec!["--filter sweep".to_string()]
+            SelectError::FilterMatchedNothing("sweep".to_string())
         );
     }
 

@@ -10,6 +10,34 @@
 
 use std::time::{Duration, Instant};
 
+/// A started wall-clock timer.
+///
+/// This module is the only place the workspace reads the host clock: the
+/// determinism lint (rule D002) confines `Instant`/`SystemTime` to this
+/// file, so everything that needs wall time — the experiment runner's
+/// progress reporting, the bench targets — goes through [`Stopwatch`] or
+/// [`Group`]. Simulated time (`ppa_sim`) stays the only clock anywhere
+/// results are computed.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a timer now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
 /// A named group of timed cases.
 pub struct Group {
     name: String,
@@ -42,6 +70,7 @@ impl Group {
             times.push(start.elapsed());
         }
         times.sort();
+        // ppa-lint: allow(D006, reason = "Duration has no Display; bench timing lines are not golden output")
         println!(
             "{}/{label}  min {:.1?}  med {:.1?}  max {:.1?}  ({} samples)",
             self.name,

@@ -221,6 +221,28 @@ fn filter_restricts_a_run_to_matching_ids() {
 }
 
 #[test]
+fn filter_matching_nothing_exits_nonzero_listing_known_ids() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["--quick", "--filter", "zzz-no-such-experiment"])
+        .output()
+        .expect("spawn reproduce");
+    assert!(
+        !out.status.success(),
+        "a zero-match filter must exit nonzero, not silently run nothing"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--filter \"zzz-no-such-experiment\" matched no experiment"),
+        "stderr names the filter: {stderr}"
+    );
+    assert!(
+        stderr.contains("fig08"),
+        "stderr lists the known ids: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "no report on stdout");
+}
+
+#[test]
 fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
     let only: Vec<String> = vec![
         "fig07".into(),

@@ -16,7 +16,7 @@
 use super::{Plan, PlanContext, Planner};
 use crate::error::{CoreError, Result};
 use crate::model::TaskSet;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Exact planner (Algorithm 1). Use only on topologies whose MC-tree count
 /// is modest; otherwise it returns an explosion error and the caller should
@@ -48,7 +48,10 @@ impl Planner for DpPlanner {
         }
 
         // SC: live candidate plans; retired: plans with no expansions left.
-        let mut sc: HashSet<TaskSet> = HashSet::new();
+        // A BTreeSet so candidate iteration order is fixed by construction
+        // (the arg-max below is additionally total-order tie-broken, but
+        // the planner should not need that second line of defence).
+        let mut sc: BTreeSet<TaskSet> = BTreeSet::new();
         sc.insert(TaskSet::empty(n));
         let mut retired: Vec<TaskSet> = Vec::new();
 
@@ -96,10 +99,9 @@ impl Planner for DpPlanner {
         }
 
         // Arg-max over live and retired candidates; prefer fewer resources on
-        // ties (Theorem 1), then the lexicographically smallest set — the
-        // candidates come out of a HashSet, so without a total tie-break the
-        // winner would depend on randomized iteration order and identical
-        // runs could return different (equally optimal) plans.
+        // ties (Theorem 1), then the lexicographically smallest set, so the
+        // winner never depends on candidate iteration order and identical
+        // runs always return the same (equally optimal) plan.
         let mut best = TaskSet::empty(n);
         let mut best_score = cx.score_plan(&best);
         for cp in sc.iter().chain(retired.iter()) {

@@ -93,7 +93,7 @@ impl StructureAwarePlanner {
         // Plan upstream sub-topologies first, so downstream segments can
         // complete against already-planned feeders. A sub whose deepest
         // operator sits earlier in the topological order is more upstream.
-        let topo_pos: std::collections::HashMap<usize, usize> = graph
+        let topo_pos: std::collections::BTreeMap<usize, usize> = graph
             .topology()
             .topo_order()
             .iter()

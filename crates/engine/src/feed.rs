@@ -170,26 +170,27 @@ mod tests {
     use crate::placement::PlacementError;
     use ppa_core::model::{OperatorSpec, Partitioning, TaskGraph, TopologyBuilder};
     use ppa_faults::{DomainBurstProcess, FaultDomainTree};
+    use std::error::Error;
 
-    fn graph() -> TaskGraph {
+    type TestResult = Result<(), Box<dyn Error>>;
+
+    fn graph() -> Result<TaskGraph, Box<dyn Error>> {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
-        b.connect(s, m, Partitioning::Merge).unwrap();
-        TaskGraph::new(b.build().unwrap())
+        b.connect(s, m, Partitioning::Merge)?;
+        Ok(TaskGraph::new(b.build()?))
     }
 
-    fn placement() -> Placement {
-        Placement::round_robin(&graph(), 4, 2)
-            .unwrap()
-            .with_fault_domains(FaultDomainTree::racks(&[0, 1, 2, 3], 2))
-            .unwrap()
+    fn placement() -> Result<Placement, Box<dyn Error>> {
+        Ok(Placement::round_robin(&graph()?, 4, 2)?
+            .with_fault_domains(FaultDomainTree::racks(&[0, 1, 2, 3], 2))?)
     }
 
     #[test]
-    fn mixed_sources_merge_into_one_normalized_trace() {
-        let p = placement();
-        let rack0 = p.domain_of(0).unwrap();
+    fn mixed_sources_merge_into_one_normalized_trace() -> TestResult {
+        let p = placement()?;
+        let rack0 = p.domain_of(0).ok_or("node 0 has no fault domain")?;
         let feed = FaultFeed::new()
             .with_spec(FailureSpec {
                 at: SimTime::from_secs(50),
@@ -197,17 +198,18 @@ mod tests {
             })
             .with_domain(SimTime::from_secs(10), rack0)
             .with_trace(FailureTrace::once(SimTime::from_secs(30), vec![2]));
-        let trace = feed.resolve(&p).unwrap();
+        let trace = feed.resolve(&p)?;
         assert_eq!(trace.len(), 3);
         // Sorted by time regardless of insertion order.
         assert_eq!(trace.events()[0].at, SimTime::from_secs(10));
         assert_eq!(trace.events()[0].nodes, vec![0, 1], "rack 0 expanded");
         assert_eq!(trace.killed_nodes(), vec![0, 1, 2, 3]);
+        Ok(())
     }
 
     #[test]
-    fn process_entries_generate_against_the_placement_tree() {
-        let p = placement();
+    fn process_entries_generate_against_the_placement_tree() -> TestResult {
+        let p = placement()?;
         let feed = FaultFeed::new().with_process(
             Box::new(DomainBurstProcess {
                 level: 1,
@@ -218,22 +220,23 @@ mod tests {
             SimDuration::from_secs(60),
             7,
         );
-        let a = feed.resolve(&p).unwrap();
-        let b = feed.resolve(&p).unwrap();
+        let a = feed.resolve(&p)?;
+        let b = feed.resolve(&p)?;
         assert_eq!(a, b, "resolution is deterministic");
         assert_eq!(a.len(), 1);
         assert_eq!(a.killed_nodes().len(), 2, "one rack of 2");
         // A placement without a tree rejects the process entry.
-        let bare = Placement::round_robin(&graph(), 4, 2).unwrap();
+        let bare = Placement::round_robin(&graph()?, 4, 2)?;
         assert_eq!(
             feed.resolve(&bare).unwrap_err(),
             EngineError::Placement(PlacementError::NoFaultDomains)
         );
+        Ok(())
     }
 
     #[test]
-    fn out_of_range_nodes_are_rejected_centrally() {
-        let p = placement();
+    fn out_of_range_nodes_are_rejected_centrally() -> TestResult {
+        let p = placement()?;
         let feed = FaultFeed::from_specs(vec![FailureSpec {
             at: SimTime::from_secs(5),
             nodes: vec![0, 99],
@@ -245,13 +248,15 @@ mod tests {
                 n_nodes: 6
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn empty_feed_resolves_to_the_empty_trace() {
+    fn empty_feed_resolves_to_the_empty_trace() -> TestResult {
         let feed = FaultFeed::new();
         assert!(feed.is_empty());
         assert_eq!(feed.len(), 0);
-        assert!(feed.resolve(&placement()).unwrap().is_empty());
+        assert!(feed.resolve(&placement()?)?.is_empty());
+        Ok(())
     }
 }

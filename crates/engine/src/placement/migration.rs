@@ -113,27 +113,28 @@ mod tests {
     use super::*;
     use ppa_core::model::{OperatorSpec, Partitioning, TaskGraph, TopologyBuilder};
     use ppa_faults::FaultDomainTree;
+    use std::error::Error;
+
+    type TestResult = Result<(), Box<dyn Error>>;
 
     /// 6 tasks round-robin over 4 workers + 2 standbys, racks of 2 over
     /// all 6 nodes: worker racks {0,1} {2,3}, standby rack {4,5}.
-    fn placement() -> Placement {
+    fn placement() -> Result<Placement, Box<dyn Error>> {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
-        b.connect(s, m, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        Placement::round_robin(&g, 4, 2)
-            .unwrap()
-            .with_fault_domains(FaultDomainTree::racks(&[0, 1, 2, 3, 4, 5], 2))
-            .unwrap()
+        b.connect(s, m, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        Ok(Placement::round_robin(&g, 4, 2)?
+            .with_fault_domains(FaultDomainTree::racks(&[0, 1, 2, 3, 4, 5], 2))?)
     }
 
     #[test]
-    fn evacuates_live_primaries_to_least_loaded_survivors() {
-        let p = placement();
-        let rack0 = p.domain_of(0).unwrap();
+    fn evacuates_live_primaries_to_least_loaded_survivors() -> TestResult {
+        let p = placement()?;
+        let rack0 = p.domain_of(0).ok_or("node 0 has no fault domain")?;
         let alive = vec![true; 6];
-        let moves = plan_evacuation(&p, &[rack0], &alive).unwrap();
+        let moves = plan_evacuation(&p, &[rack0], &alive)?;
         // Primaries on nodes 0 and 1 (tasks 0, 4 on node 0; 1, 5 on 1).
         let primaries: Vec<_> = moves
             .iter()
@@ -148,27 +149,26 @@ mod tests {
         assert_eq!(to2, 2, "evacuees spread, not piled: {primaries:?}");
         // No standby lives in rack 0, so no standby moves.
         assert!(moves.iter().all(|m| m.role == MoveRole::Primary));
+        Ok(())
     }
 
     #[test]
-    fn dead_primaries_stay_but_dead_standbys_are_rehomed() {
+    fn dead_primaries_stay_but_dead_standbys_are_rehomed() -> TestResult {
         // 4 workers + 4 standbys, racks of 2: worker racks {0,1} {2,3},
         // standby racks {4,5} {6,7}.
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
-        b.connect(s, m, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let p = Placement::round_robin(&g, 4, 4)
-            .unwrap()
-            .with_fault_domains(FaultDomainTree::racks(&(0..8).collect::<Vec<_>>(), 2))
-            .unwrap();
+        b.connect(s, m, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        let p = Placement::round_robin(&g, 4, 4)?
+            .with_fault_domains(FaultDomainTree::racks(&(0..8).collect::<Vec<_>>(), 2))?;
         // Rack {0,1} died: nodes 0 and 1 are dead.
-        let rack0 = p.domain_of(0).unwrap();
+        let rack0 = p.domain_of(0).ok_or("node 0 has no fault domain")?;
         let mut alive = vec![true; 8];
         alive[0] = false;
         alive[1] = false;
-        let moves = plan_evacuation(&p, &[rack0], &alive).unwrap();
+        let moves = plan_evacuation(&p, &[rack0], &alive)?;
         // Dead primaries are recovery's business — no primary moves.
         assert!(
             moves.iter().all(|m| m.role == MoveRole::Standby),
@@ -177,20 +177,21 @@ mod tests {
 
         // Standby rack {4,5} evacuated while dead: its standbys (tasks
         // 0, 4 on node 4; 1, 5 on node 5) re-home to rack {6,7}.
-        let rack2 = p.domain_of(4).unwrap();
+        let rack2 = p.domain_of(4).ok_or("node 4 has no fault domain")?;
         let mut alive = vec![true; 8];
         alive[4] = false;
         alive[5] = false;
-        let moves = plan_evacuation(&p, &[rack2], &alive).unwrap();
+        let moves = plan_evacuation(&p, &[rack2], &alive)?;
         assert_eq!(moves.len(), 4, "{moves:?}");
         for m in &moves {
             assert_eq!(m.role, MoveRole::Standby);
             assert!(m.to == 6 || m.to == 7, "{m:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn whole_domain_evacuation_has_no_admission_bound() {
+    fn whole_domain_evacuation_has_no_admission_bound() -> TestResult {
         // 24 tasks on 24 workers (+24 standbys), racks of 12: evacuating
         // one rack plans every hosted primary in a single round — nothing
         // caps how much state ships per epoch. This is the executable
@@ -200,14 +201,12 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 12, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 12, 1.0));
-        b.connect(s, m, Partitioning::OneToOne).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let p = Placement::round_robin(&g, 24, 24)
-            .unwrap()
-            .with_fault_domains(FaultDomainTree::racks(&(0..24).collect::<Vec<_>>(), 12))
-            .unwrap();
-        let rack0 = p.domain_of(0).unwrap();
-        let moves = plan_evacuation(&p, &[rack0], &[true; 48]).unwrap();
+        b.connect(s, m, Partitioning::OneToOne)?;
+        let g = TaskGraph::new(b.build()?);
+        let p = Placement::round_robin(&g, 24, 24)?
+            .with_fault_domains(FaultDomainTree::racks(&(0..24).collect::<Vec<_>>(), 12))?;
+        let rack0 = p.domain_of(0).ok_or("node 0 has no fault domain")?;
+        let moves = plan_evacuation(&p, &[rack0], &[true; 48])?;
         assert_eq!(moves.len(), 12, "every hosted primary moves at once");
         assert!(moves.iter().all(|mv| mv.role == MoveRole::Primary));
         // The 12 evacuees spread one-per-node over the surviving workers.
@@ -216,19 +215,21 @@ mod tests {
             load[mv.to] += 1;
         }
         assert!((12..24).all(|n| load[n] == 1), "{moves:?}");
+        Ok(())
     }
 
     #[test]
-    fn no_fault_domains_is_a_typed_error() {
+    fn no_fault_domains_is_a_typed_error() -> TestResult {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 2, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 1, 1.0));
-        b.connect(s, m, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let bare = Placement::round_robin(&g, 2, 1).unwrap();
+        b.connect(s, m, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        let bare = Placement::round_robin(&g, 2, 1)?;
         assert_eq!(
             plan_evacuation(&bare, &[DomainId(1)], &[true; 3]).unwrap_err(),
             PlacementError::NoFaultDomains
         );
+        Ok(())
     }
 }

@@ -456,7 +456,7 @@ mod tests {
         };
         let t = p.generate_seeded(&c, SimTime::ZERO, HOUR, 11);
         assert_eq!(t.len(), 4, "every rack bursts once");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in t.events() {
             for &n in &e.nodes {
                 assert!(seen.insert(n), "node {n} killed by two domain bursts");

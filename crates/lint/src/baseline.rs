@@ -1,0 +1,266 @@
+//! The ratchet: a committed `lint-baseline.txt` records, per rule and
+//! file, how many findings are tolerated as legacy debt. The gate fails
+//! on any *new* finding (count above baseline) and on a *stale* baseline
+//! (count below baseline, or an entry for a vanished file) — so the only
+//! way the numbers move is down, and the working tree always documents
+//! exactly how much debt remains.
+
+use crate::findings::{Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-(rule, file) tolerated finding counts. BTreeMap keeps the
+/// serialized form canonical, so regenerating the baseline is a stable
+/// diff.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(RuleId, String), usize>,
+}
+
+/// One baseline violation: either findings exceeding the tolerated count
+/// or a baseline entry the code has outgrown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Breach {
+    /// `count` findings where the baseline tolerates only `tolerated` —
+    /// someone introduced a new hazard.
+    New {
+        rule: RuleId,
+        file: String,
+        count: usize,
+        tolerated: usize,
+    },
+    /// Fewer findings than baselined — the debt shrank (good!), but the
+    /// committed baseline must be regenerated so the ratchet locks in
+    /// the lower number.
+    Stale {
+        rule: RuleId,
+        file: String,
+        count: usize,
+        tolerated: usize,
+    },
+}
+
+impl Baseline {
+    /// Parses the `lint-baseline.txt` format: one `RULE path count` per
+    /// line, `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `RULE path count`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let rule = RuleId::parse(rule)
+                .ok_or_else(|| format!("baseline line {}: unknown rule `{rule}`", idx + 1))?;
+            let count: usize = count.parse().map_err(|_| {
+                format!("baseline line {}: count `{count}` is not a number", idx + 1)
+            })?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entries must be deleted, not kept",
+                    idx + 1
+                ));
+            }
+            if entries.insert((rule, path.to_string()), count).is_some() {
+                return Err(format!(
+                    "baseline line {}: duplicate entry for {rule} {path}",
+                    idx + 1
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds the baseline that would make `findings` pass exactly.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(RuleId, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes to the committed file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ppa-lint baseline — tolerated legacy findings, per rule and file.\n\
+             # The ratchet only shrinks: CI fails on any new finding and on a stale\n\
+             # (shrinkable) baseline. Regenerate after burning down debt with:\n\
+             #   cargo run -p ppa-lint -- --write-baseline\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            // Infallible: writing to a String cannot fail.
+            let _ = writeln!(out, "{rule} {file} {count}");
+        }
+        out
+    }
+
+    /// Compares current findings against the baseline. An empty result
+    /// means the gate passes.
+    pub fn diff(&self, findings: &[Finding]) -> Vec<Breach> {
+        let current = Baseline::from_findings(findings).entries;
+        let mut breaches = Vec::new();
+        for ((rule, file), &count) in &current {
+            let tolerated = self
+                .entries
+                .get(&(*rule, file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count > tolerated {
+                breaches.push(Breach::New {
+                    rule: *rule,
+                    file: file.clone(),
+                    count,
+                    tolerated,
+                });
+            } else if count < tolerated {
+                breaches.push(Breach::Stale {
+                    rule: *rule,
+                    file: file.clone(),
+                    count,
+                    tolerated,
+                });
+            }
+        }
+        for ((rule, file), &tolerated) in &self.entries {
+            if !current.contains_key(&(*rule, file.clone())) {
+                breaches.push(Breach::Stale {
+                    rule: *rule,
+                    file: file.clone(),
+                    count: 0,
+                    tolerated,
+                });
+            }
+        }
+        breaches.sort_by_key(|b| b.key());
+        breaches
+    }
+}
+
+impl Breach {
+    fn key(&self) -> (RuleId, String) {
+        match self {
+            Breach::New { rule, file, .. } | Breach::Stale { rule, file, .. } => {
+                (*rule, file.clone())
+            }
+        }
+    }
+
+    pub fn is_new(&self) -> bool {
+        matches!(self, Breach::New { .. })
+    }
+}
+
+impl std::fmt::Display for Breach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Breach::New {
+                rule,
+                file,
+                count,
+                tolerated,
+            } => write!(
+                f,
+                "{file}: {count} {rule} finding(s), baseline tolerates {tolerated} — fix the \
+                 new site(s) or suppress with `// ppa-lint: allow({rule}, reason = \"...\")`"
+            ),
+            Breach::Stale {
+                rule,
+                file,
+                count,
+                tolerated,
+            } => write!(
+                f,
+                "{file}: baseline tolerates {tolerated} {rule} finding(s) but only {count} \
+                 remain — run `cargo run -p ppa-lint -- --write-baseline` to lock in the \
+                 lower count"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            f(RuleId::D005, "crates/engine/src/a.rs", 1),
+            f(RuleId::D005, "crates/engine/src/a.rs", 9),
+            f(RuleId::D001, "crates/core/src/b.rs", 3),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let reparsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, reparsed);
+        assert_eq!(
+            reparsed.entries[&(RuleId::D005, "crates/engine/src/a.rs".into())],
+            2
+        );
+    }
+
+    #[test]
+    fn matching_findings_pass() {
+        let findings = vec![f(RuleId::D005, "a.rs", 1), f(RuleId::D005, "a.rs", 2)];
+        let b = Baseline::from_findings(&findings);
+        assert!(b.diff(&findings).is_empty());
+    }
+
+    #[test]
+    fn extra_finding_is_a_new_breach() {
+        let b = Baseline::from_findings(&[f(RuleId::D005, "a.rs", 1)]);
+        let now = vec![f(RuleId::D005, "a.rs", 1), f(RuleId::D005, "a.rs", 7)];
+        let breaches = b.diff(&now);
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].is_new());
+    }
+
+    #[test]
+    fn finding_in_unbaselined_file_is_new() {
+        let b = Baseline::default();
+        let breaches = b.diff(&[f(RuleId::D001, "fresh.rs", 1)]);
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].is_new());
+    }
+
+    #[test]
+    fn shrunk_or_vanished_counts_are_stale() {
+        let b = Baseline::parse("D005 a.rs 3\nD001 gone.rs 1\n").unwrap();
+        let breaches = b.diff(&[f(RuleId::D005, "a.rs", 1)]);
+        assert_eq!(breaches.len(), 2);
+        assert!(breaches.iter().all(|b| !b.is_new()));
+        // Sorted by (rule, file): the vanished D001 entry leads.
+        assert!(breaches[0].to_string().contains("gone.rs"), "{breaches:?}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("D005 a.rs").is_err(), "missing count");
+        assert!(Baseline::parse("D999 a.rs 1").is_err(), "unknown rule");
+        assert!(Baseline::parse("D005 a.rs x").is_err(), "bad count");
+        assert!(Baseline::parse("D005 a.rs 0").is_err(), "zero count");
+        assert!(
+            Baseline::parse("D005 a.rs 1\nD005 a.rs 2").is_err(),
+            "duplicate"
+        );
+        assert!(Baseline::parse("# comment\n\nD005 a.rs 1").is_ok());
+    }
+}

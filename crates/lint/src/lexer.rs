@@ -1,0 +1,380 @@
+//! A small, real tokenizer for Rust source — not regex-over-text.
+//!
+//! The rules only ever need identifier/punctuation shapes, string literal
+//! contents and comments, but they need them *correctly*: an `unwrap()`
+//! inside a doc comment, a `HashMap` inside a string literal or a
+//! `panic!` inside a nested block comment must not produce findings.
+//! This lexer handles line and (nested) block comments, cooked strings
+//! with escapes, raw strings with arbitrary `#` guards, byte/char
+//! literals and lifetimes, and tags every token with its 1-based line.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `static`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (loosely lexed; no rule inspects the value).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); `text`
+    /// holds the *inner* contents, without quotes, guards or prefixes.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`); `text` is the inner
+    /// contents.
+    Char,
+    /// Lifetime (`'a`); `text` includes the leading quote.
+    Lifetime,
+    /// Line or block comment, full text including the delimiters. The
+    /// pragma parser reads these; rules skip them.
+    Comment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line (the line it *starts* on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply extend to
+/// the end of the input (the linter lints the workspace's own compiling
+/// sources, so this is a graceful-degradation path, not a validator).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line),
+                b'"' => self.cooked_string(line, 0),
+                b'\'' => self.char_or_lifetime(line),
+                b'r' | b'b' if self.string_prefix().is_some() => {
+                    let (skip, raw, _byte) = self.string_prefix().unwrap();
+                    for _ in 0..skip {
+                        self.bump();
+                    }
+                    if raw {
+                        self.raw_string(line);
+                    } else if self.peek(0) == b'\'' {
+                        self.bump(); // opening quote of b'…'
+                        self.char_literal(line);
+                    } else {
+                        self.cooked_string(line, 0);
+                    }
+                }
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// If the cursor sits on a string-literal prefix (`r"`, `r#`, `b"`,
+    /// `b'`, `br"`, `br#`), returns `(prefix_len, is_raw, is_byte)`.
+    fn string_prefix(&self) -> Option<(usize, bool, bool)> {
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            (b'r', b'"' | b'#', _) => Some((1, true, false)),
+            (b'b', b'r', b'"' | b'#') => Some((2, true, true)),
+            (b'b', b'"', _) => Some((1, false, true)),
+            (b'b', b'\'', _) => Some((1, false, true)),
+            _ => None,
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// Cooked string; the opening quote is at the cursor.
+    fn cooked_string(&mut self, line: u32, _guards: usize) {
+        self.bump(); // opening '"'
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.bump(); // closing '"'
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string; the cursor sits on the first `#` or the `"`.
+    fn raw_string(&mut self, line: u32) {
+        let mut guards = 0usize;
+        while self.peek(0) == b'#' {
+            guards += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r#ident` raw identifier, not a raw string.
+            self.ident(line);
+            return;
+        }
+        self.bump(); // opening '"'
+        let start = self.i;
+        let end;
+        loop {
+            if self.i >= self.b.len() {
+                end = self.i;
+                break;
+            }
+            if self.peek(0) == b'"' && (1..=guards).all(|k| self.peek(k) == b'#') {
+                end = self.i;
+                self.bump(); // '"'
+                for _ in 0..guards {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// After a `'`: disambiguates char literals from lifetimes.
+    fn char_or_lifetime(&mut self, line: u32) {
+        // A lifetime is 'ident NOT followed by a closing quote.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '\''
+            let start = self.i;
+            while self.i < self.b.len() && is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let name = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.push(TokKind::Lifetime, format!("'{name}"), line);
+        } else {
+            self.bump(); // '\''
+            self.char_literal(line);
+        }
+    }
+
+    /// Char literal body; the opening quote is consumed.
+    fn char_literal(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.bump(); // closing '\''
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("foo.bar()\nbaz!");
+        assert_eq!(toks[0].text, "foo");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::Punct);
+        assert_eq!(toks[5].text, "baz");
+        assert_eq!(toks[5].line, 2);
+        assert_eq!(toks[6].text, "!");
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "a.unwrap() HashMap \" still";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+        // No identifier token leaked out of the string.
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r###"let s = r#"panic!("inner " quote")"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(r#"panic!("inner " quote")"#));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"(b"unwrap()", br#"HashMap"#, b'x')"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "x"));
+        assert!(!toks.iter().any(|t| t.0 == TokKind::Ident));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner unwrap() */ still */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (
+                    TokKind::Comment,
+                    "/* outer /* inner unwrap() */ still */".into()
+                ),
+                (TokKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_keep_their_text_for_pragmas() {
+        let toks = lex("x // ppa-lint: allow(D001, reason = \"why\")\ny");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert!(c.text.contains("allow(D001"));
+        assert_eq!(c.line, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Lifetime && t.1 == "'a"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Char && t.1 == "x"));
+    }
+
+    #[test]
+    fn escaped_chars_and_multiline_strings_track_lines() {
+        let toks = lex("let a = '\\n';\nlet s = \"one\ntwo\";\nlast");
+        let last = toks.iter().find(|t| t.text == "last").unwrap();
+        assert_eq!(last.line, 4, "newline inside the string counts");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let toks = kinds("1.5 + 1.max(2) + (0..10)");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Num && t.1 == "1.5"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "max"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Num && t.1 == "10"));
+    }
+}

@@ -1,0 +1,173 @@
+//! # ppa-lint — workspace-native determinism & robustness linter
+//!
+//! The repo's load-bearing guarantee is byte-identical stdout for every
+//! figure and sweep at any `--jobs` count. End-to-end smoke runs catch a
+//! nondeterminism bug only *after* it ships; this crate rejects the bug
+//! classes at review time with six token-level rules:
+//!
+//! | Rule | Catches |
+//! |------|---------|
+//! | D001 | `HashMap`/`HashSet` whose iteration order can escape into plans, reports or stdout |
+//! | D002 | Ambient wall-clock time (`SystemTime`/`Instant`) outside the stopwatch module |
+//! | D003 | Ambient randomness (entropy-seeded RNG construction) |
+//! | D004 | Ambient concurrency (`thread::spawn`, `static mut`, sync primitives) in the deterministic crates |
+//! | D005 | `unwrap`/`expect`/`panic!` in the deterministic crates |
+//! | D006 | `{:?}` Debug formatting flowing into output paths |
+//!
+//! Built on a real tokenizer ([`lexer`]) — comments, strings and raw
+//! strings are handled, so `unwrap()` in a doc comment is not a finding.
+//! Legacy debt lives in a committed, ratcheted baseline ([`baseline`]);
+//! reviewed exceptions use scoped pragmas with mandatory reasons
+//! ([`pragma`]):
+//!
+//! ```text
+//! let seen: HashSet<u32> = ... // ppa-lint: allow(D001, reason = "membership-only dedup")
+//! ```
+//!
+//! Run `cargo run -p ppa-lint` from the workspace root; see `--help`.
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::{Baseline, Breach};
+pub use findings::{Finding, LintError, RuleId};
+pub use scan::{analyze_source, analyze_workspace, run_gate, Analysis, GateResult};
+
+use std::fmt::Write as _;
+
+/// Renders a gate result as the machine-readable `--json` document
+/// (dependency-free writer, stable key order).
+pub fn render_json(result: &GateResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files\": {},", result.analysis.files);
+    let _ = writeln!(out, "  \"passed\": {},", result.passed());
+
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in result.analysis.findings.iter().enumerate() {
+        let comma = if i + 1 < result.analysis.findings.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": {}, \"line\": {}, \"message\": {}}}{comma}",
+            f.rule,
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"suppressed\": [\n");
+    for (i, (f, reason)) in result.analysis.suppressed.iter().enumerate() {
+        let comma = if i + 1 < result.analysis.suppressed.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": {}, \"line\": {}, \"reason\": {}}}{comma}",
+            f.rule,
+            json_str(&f.file),
+            f.line,
+            json_str(reason)
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"errors\": [\n");
+    for (i, e) in result.analysis.errors.iter().enumerate() {
+        let comma = if i + 1 < result.analysis.errors.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"message\": {}}}{comma}",
+            json_str(&e.file),
+            e.line,
+            json_str(&e.message)
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"breaches\": [\n");
+    for (i, b) in result.breaches.iter().enumerate() {
+        let comma = if i + 1 < result.breaches.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": \"{}\", \"detail\": {}}}{comma}",
+            if b.is_new() { "new" } else { "stale" },
+            json_str(&b.to_string())
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed_for_empty_and_nonempty_results() {
+        let empty = GateResult {
+            analysis: Analysis::default(),
+            breaches: Vec::new(),
+        };
+        let doc = render_json(&empty);
+        assert!(doc.contains("\"passed\": true"));
+        assert!(doc.ends_with("}\n"));
+
+        let mut analysis = Analysis::default();
+        scan::analyze_source(
+            "crates/engine/src/x.rs",
+            "let m: HashMap<u8, \"quote\\\"d\"> = x.unwrap();",
+            &mut analysis,
+        );
+        let breaches = Baseline::default().diff(&analysis.findings);
+        let result = GateResult { analysis, breaches };
+        let doc = render_json(&result);
+        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains("\"rule\": \"D001\""));
+        assert!(doc.contains("\"kind\": \"new\""));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: pragma suppression scope — a trailing pragma silences its
+// own line, a standalone pragma the line below; line 7 stays active.
+use std::collections::HashSet; // ppa-lint: allow(D001, reason = "trailing: covers its own line")
+
+// ppa-lint: allow(D001, reason = "standalone: covers the next line")
+pub fn dedup(far: HashSet<u32>) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    out.extend(far);
+    out
+}

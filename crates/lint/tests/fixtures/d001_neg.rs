@@ -1,0 +1,9 @@
+// Fixture: D001 negatives — ordered collections, plus HashMap mentions
+// that are only text (this comment and the string below must not count).
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build() -> BTreeMap<u32, u32> {
+    let _s: BTreeSet<u32> = BTreeSet::new();
+    let _msg = "HashMap iteration order is randomized";
+    BTreeMap::new()
+}

@@ -1,0 +1,11 @@
+// Fixture: D001 positives — hash collections in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    for (k, v) in &m {
+        let _ = (k, v, &s);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: D002 negative — simulated time only. An Instant mention in
+// this comment (or the string below) must not count.
+pub fn at(t: SimTime) -> SimTime {
+    let _doc = "Instant::now() is banned outside the stopwatch";
+    t
+}

@@ -1,0 +1,7 @@
+// Fixture: D002 positives — ambient wall clock outside the stopwatch.
+use std::time::{Instant, SystemTime};
+
+pub fn now() {
+    let _a = Instant::now();
+    let _b = SystemTime::now();
+}

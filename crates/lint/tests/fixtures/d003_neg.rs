@@ -1,0 +1,6 @@
+// Fixture: D003 negative — the seeded in-tree RNG threaded from a
+// scenario seed ("thread_rng" in the string below must not count).
+pub fn rng(seed: u64) -> StdRng {
+    let _doc = "do not reach for thread_rng here";
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,6 @@
+// Fixture: D003 positives — entropy-sourced RNG constructors.
+pub fn rngs() {
+    let _a = rand::thread_rng();
+    let _b = StdRng::from_entropy();
+    let _c = OsRng;
+}

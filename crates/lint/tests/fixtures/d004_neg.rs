@@ -1,0 +1,8 @@
+// Fixture: D004 negatives — `spawn` off a non-thread path, an immutable
+// static, and a sync primitive that is only text in a string.
+pub fn spawn_task(pool: &Pool) {
+    pool.spawn(|| {});
+    let _s = "Mutex is banned in deterministic crates";
+}
+
+static LIMIT: u32 = 4;

@@ -1,0 +1,8 @@
+// Fixture: D004 positives — ambient concurrency in a deterministic crate.
+pub fn run() {
+    std::thread::spawn(|| {});
+    let _m = Mutex::new(0);
+    let _a = AtomicU64::new(0);
+}
+
+static mut COUNTER: u32 = 0;

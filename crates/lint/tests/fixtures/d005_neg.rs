@@ -1,0 +1,9 @@
+// Fixture: D005 negatives — unwrap-family methods that cannot panic,
+// and panic shapes that are only text: .unwrap() in this comment.
+pub fn safe(v: Option<u32>, r: Result<u32, Error>) -> u32 {
+    let a = v.unwrap_or(0);
+    let b = r.unwrap_err().code();
+    let c = v.map(double).unwrap_or_else(|| 1);
+    let _s = "call .unwrap() and panic!(now)";
+    a + b + c
+}

@@ -1,0 +1,9 @@
+// Fixture: D005 positives — the three panic shapes.
+pub fn panics(v: Option<u32>, r: Result<u32, Error>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("should have parsed");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    a + b
+}

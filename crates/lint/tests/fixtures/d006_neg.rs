@@ -1,0 +1,9 @@
+// Fixture: D006 negatives — Display specs, stderr diagnostics, escaped
+// braces, and a Debug spec that is only text in a plain string.
+pub fn report(w: &mut Writer, plan: &Plan) {
+    println!("{}", plan);
+    eprintln!("debug view: {plan:?}");
+    println!("a literal {{:?}} brace pair");
+    let _fmt = "{:?}";
+    writeln!(w, "{:>8.3}", plan.value).ok();
+}

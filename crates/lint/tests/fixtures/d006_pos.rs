@@ -1,0 +1,7 @@
+// Fixture: D006 positives — Debug specs escaping into stdout/reports.
+pub fn report(w: &mut Writer, plan: &Plan, rows: &[Row]) {
+    println!("{:?}", plan);
+    print!("{plan:#?}");
+    writeln!(w, "rows: {rows:?}").ok();
+    write!(w, "{:>8.1?}", rows[0]).ok();
+}

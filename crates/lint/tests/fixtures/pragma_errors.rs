@@ -1,0 +1,6 @@
+// Fixture: malformed pragmas — every pragma below is a hard error.
+use std::collections::HashSet; // ppa-lint: allow(D001)
+pub fn a(_x: HashSet<u32>) {} // ppa-lint: allow(D001, reason = "  ")
+pub fn b() {} // ppa-lint: allow(D999, reason = "unknown rule id")
+// ppa-lint: allow(D002, reason = "suppresses nothing below")
+pub fn c() {}

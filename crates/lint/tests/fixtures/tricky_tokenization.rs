@@ -1,0 +1,16 @@
+// Fixture: tokenizer stress — everything here is a near-miss except the
+// single real site on line 15.
+pub fn tricky() {
+    let s1 = "a.unwrap() and panic!(boom) and HashMap";
+    let s2 = r#"Instant::now() inside a raw "string" with # guards"#;
+    let bs = b"thread_rng() in a byte string";
+    /* nested /* block comment: Mutex::new(0).expect("x") */ still a comment */
+    let c = 'x';
+    let lifetime_ok: &'static str = "ok";
+    let range = 0..10;
+    let max = 1.max(2);
+    let multi = "a string
+that spans lines: SystemTime::now()";
+    let real: Option<u32> = None;
+    let _ = real.unwrap();
+}

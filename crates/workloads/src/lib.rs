@@ -210,7 +210,7 @@ mod tests {
             assert!(s.placement.primary[t.0] < 4);
         }
         // 15 synthetic tasks on their own nodes 4..19.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for t in 0..g.n_tasks() {
             if !g.is_source_task(ppa_core::model::TaskIndex(t)) {
                 assert!(s.placement.primary[t] >= 4);

@@ -53,7 +53,8 @@ fn main() {
 
     println!("\nSA plan at budget 16 (task ids; sources are t0..t15):");
     let plan = StructureAwarePlanner::default().plan(&cx, 16).unwrap();
-    println!("  {:?}", plan.tasks);
+    let ids: Vec<String> = plan.tasks.iter().map(|t| format!("t{}", t.0)).collect();
+    println!("  {{{}}}", ids.join(", "));
     println!("  predicted OF: {:.3}", plan.value);
     println!(
         "  worst-case IC of the same plan: {:.3} (joins absent, so close to OF)",

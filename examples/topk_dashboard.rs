@@ -66,9 +66,14 @@ fn main() {
     // Dashboard view: golden vs tentative top-5 in a late batch.
     let show = |label: &str, rep: &ppa::engine::RunReport, batch: u64| {
         if let Some(s) = rep.sink_batches(batch).next() {
-            let top: Vec<u64> = topk_set(&s.tuples).into_iter().take(5).collect();
+            let top: Vec<String> = topk_set(&s.tuples)
+                .into_iter()
+                .take(5)
+                .map(|k| k.to_string())
+                .collect();
             println!(
-                "{label:9} batch {batch}: top-5 = {top:?}{}",
+                "{label:9} batch {batch}: top-5 = [{}]{}",
+                top.join(", "),
                 if s.tentative { "  [tentative]" } else { "" }
             );
         } else {
