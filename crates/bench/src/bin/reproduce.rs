@@ -3,21 +3,25 @@
 //! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--json PATH] [--list] [--filter SUBSTR]
+//! reproduce [--quick] [--jobs N] [--json PATH] [--trace-dir DIR] [--list]
+//!           [--filter SUBSTR]
 //!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep
 //!            placement_sweep adaptive_sweep | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
 //! default = available parallelism); stdout is byte-identical for any job
-//! count — timings never touch it.
+//! count — timings never touch it. `--trace-dir` additionally records
+//! every driven run's engine-event stream under `DIR/<experiment>/` as
+//! JSONL + Chrome `trace_event` files, themselves byte-identical for any
+//! job count.
 
 use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] [--list] \
-     [--filter SUBSTR] [EXPERIMENT.. | all]";
+const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] \
+     [--trace-dir DIR] [--list] [--filter SUBSTR] [EXPERIMENT.. | all]";
 
 fn main() -> ExitCode {
     let mut opts = RunOptions {
@@ -47,6 +51,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 json_path = Some(PathBuf::from(p));
+            }
+            "--trace-dir" => {
+                let Some(d) = args.next() else {
+                    eprintln!("--trace-dir needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.trace_dir = Some(PathBuf::from(d));
             }
             "--filter" | "-f" => {
                 let Some(f) = args.next() else {

@@ -18,11 +18,15 @@ pub mod placement_sweep;
 pub mod refail_sweep;
 pub mod tentative;
 
-use crate::runner::{RunCtx, RunLog};
+use crate::runner::{RunCtx, RunLog, TraceLog};
+use crate::stopwatch::Stopwatch;
 use ppa_core::TaskSet;
-use ppa_engine::{EngineConfig, FailureTrace, FtMode, RunReport, Simulation};
+use ppa_engine::{
+    EngineConfig, EngineEvent, FailureTrace, FtMode, RunReport, Simulation, TraceSink,
+};
 use ppa_sim::{SimDuration, SimTime};
 use ppa_workloads::{Fig6Config, Scenario};
+use std::sync::{Arc, Mutex};
 
 /// A fault-tolerance strategy of the §VI-A experiments.
 #[derive(Debug, Clone)]
@@ -171,7 +175,13 @@ pub fn drive_scenario_config(
     duration_secs: u64,
 ) -> ppa_engine::DriveReport {
     let mut sim = Simulation::new(&scenario.query, scenario.placement.clone(), config);
+    let buffer = ctx.tracing().then(|| {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        sim.set_trace_sink(Box::new(SharedSink(Arc::clone(&buffer))));
+        buffer
+    });
     let mut policy = scenario.make_policy();
+    let watch = Stopwatch::start();
     let driven = sim
         .drive(
             &ppa_engine::FaultFeed::from_trace(trace.clone()),
@@ -179,15 +189,41 @@ pub fn drive_scenario_config(
             SimTime::ZERO + SimDuration::from_secs(duration_secs),
         )
         .expect("scenario traces name nodes of their own cluster");
+    let wall = watch.elapsed();
     let fail_at_secs = trace.first_at().map_or(0, |t| t.as_micros() / 1_000_000);
-    ctx.log_run(RunLog::from_report(
+    let mut log = RunLog::from_report(
         label,
         strategy.label(),
         fail_at_secs,
         trace.killed_nodes(),
         &driven.report,
-    ));
+    );
+    log.wall_s = wall.as_secs_f64();
+    ctx.log_run(log);
+    if let Some(buffer) = buffer {
+        let events = std::mem::take(&mut *buffer.lock().expect("trace buffer poisoned"));
+        ctx.log_trace(TraceLog {
+            scenario: label.to_string(),
+            strategy: strategy.label(),
+            fail_at_s: fail_at_secs,
+            kill_nodes: trace.killed_nodes(),
+            events,
+        });
+    }
     driven
+}
+
+/// A [`TraceSink`] buffering into shared storage, so the harness can keep
+/// reading the stream after the simulation consumed the boxed sink.
+struct SharedSink(Arc<Mutex<Vec<(SimTime, EngineEvent)>>>);
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, at: SimTime, event: &EngineEvent) {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .push((at, event.clone()));
+    }
 }
 
 /// Mean recovery latency in seconds over the non-source tasks (the 15

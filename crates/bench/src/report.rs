@@ -44,7 +44,7 @@ pub fn to_json(summary: &RunSummary) -> Json {
                             ),
                             (
                                 "runs",
-                                Json::Arr(r.runs.iter().map(|l| l.to_json()).collect()),
+                                Json::Arr(r.runs.iter().map(|l| l.to_json_timed()).collect()),
                             ),
                         ])
                     })
@@ -94,6 +94,10 @@ mod tests {
                     fail_at_s: 40,
                     kill_nodes: vec![4, 5],
                     events: 123,
+                    outages: 2,
+                    refails: 1,
+                    outages_recovered: 1,
+                    wall_s: 0.25,
                     recoveries: vec![
                         RecoveryRecord {
                             task: 7,
@@ -122,6 +126,9 @@ mod tests {
         assert!(doc.contains("\"jobs\": 4"));
         assert!(doc.contains("\"id\": \"fig99\""));
         assert!(doc.contains("\"wall_s\": 0.7"));
+        // Per-run timing rides in the report via to_json_timed...
+        assert!(doc.contains("\"wall_s\": 0.25"));
+        assert!(doc.contains("\"refails\": 1"));
         assert!(doc.contains("\"latency_s\": 12.5"));
         // Unrecovered runs serialize as null, never NaN.
         assert!(doc.contains("\"latency_s\": null"));

@@ -11,7 +11,11 @@ use crate::json::Json;
 use crate::pool::Gate;
 use crate::stopwatch::Stopwatch;
 use crate::{registry, Experiment, Figure};
-use ppa_engine::RunReport;
+use ppa_engine::{EngineEvent, RunReport};
+use ppa_obs::{to_chrome_trace, to_jsonl};
+use ppa_sim::SimTime;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -30,6 +34,10 @@ pub struct RunOptions {
     pub filter: Option<String>,
     /// Emit per-experiment progress and timings on stderr.
     pub progress: bool,
+    /// Record engine traces: every driven run's event stream lands under
+    /// `<trace_dir>/<experiment id>/` as a JSONL trace plus a Chrome
+    /// `trace_event` file. Trace files are byte-identical for any `jobs`.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -66,6 +74,16 @@ pub struct RunLog {
     pub recoveries: Vec<RecoveryRecord>,
     /// Events the simulation processed (a determinism fingerprint).
     pub events: u64,
+    /// Outage records across all tasks (first failures + re-failures).
+    pub outages: usize,
+    /// Outage records beyond each task's first (re-failures).
+    pub refails: usize,
+    /// Outage records that closed (progress restored) before run end.
+    pub outages_recovered: usize,
+    /// Wall-clock seconds this run took (measured by the sanctioned
+    /// [`Stopwatch`]); reported by [`RunLog::to_json_timed`] only — never
+    /// in the determinism-compared payload.
+    pub wall_s: f64,
 }
 
 impl RunLog {
@@ -93,6 +111,15 @@ impl RunLog {
                 })
                 .collect(),
             events: report.events,
+            outages: report.outages.iter().map(|o| o.records.len()).sum(),
+            refails: report.refail_count(),
+            outages_recovered: report
+                .outages
+                .iter()
+                .flat_map(|o| o.records.iter())
+                .filter(|r| !r.open())
+                .count(),
+            wall_s: 0.0,
         }
     }
 
@@ -121,6 +148,12 @@ impl RunLog {
                 ),
             ),
             ("events", Json::Int(self.events as i64)),
+            ("outages", Json::Int(self.outages as i64)),
+            ("refails", Json::Int(self.refails as i64)),
+            (
+                "outages_recovered",
+                Json::Int(self.outages_recovered as i64),
+            ),
             (
                 "recoveries",
                 Json::Arr(
@@ -139,15 +172,53 @@ impl RunLog {
             ),
         ])
     }
+
+    /// [`RunLog::to_json`] plus the run's wall-clock timing. Only the
+    /// JSON report uses this — the `--jobs` determinism tests compare
+    /// `to_json`, which deliberately excludes timings.
+    pub fn to_json_timed(&self) -> Json {
+        match self.to_json() {
+            Json::Obj(mut fields) => {
+                fields.push(("wall_s".to_string(), Json::Num(self.wall_s)));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+}
+
+/// One driven run's recorded engine-event stream, keyed like its
+/// [`RunLog`] so trace files sort into the same scheduling-independent
+/// order as the logs.
+pub struct TraceLog {
+    pub scenario: String,
+    pub strategy: String,
+    pub fail_at_s: u64,
+    pub kill_nodes: Vec<usize>,
+    pub events: Vec<(SimTime, EngineEvent)>,
+}
+
+impl TraceLog {
+    fn sort_key(&self) -> (String, String, u64, Vec<usize>) {
+        (
+            self.scenario.clone(),
+            self.strategy.clone(),
+            self.fail_at_s,
+            self.kill_nodes.clone(),
+        )
+    }
 }
 
 /// Per-experiment execution context: the quick flag, the shared worker
-/// gate, and the run log collector.
+/// gate, and the run log / trace collectors.
 pub struct RunCtx {
     /// CI scale instead of paper scale.
     pub quick: bool,
     gate: Arc<Gate>,
     logs: Mutex<Vec<RunLog>>,
+    /// Where this experiment's trace files land; `None` = tracing off.
+    trace_dir: Option<PathBuf>,
+    traces: Mutex<Vec<TraceLog>>,
 }
 
 impl RunCtx {
@@ -156,6 +227,8 @@ impl RunCtx {
             quick,
             gate,
             logs: Mutex::new(Vec::new()),
+            trace_dir: None,
+            traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -163,6 +236,18 @@ impl RunCtx {
     /// benches and tests.
     pub fn serial(quick: bool) -> Self {
         RunCtx::new(quick, Arc::new(Gate::new(1)))
+    }
+
+    /// Turns trace recording on: driven runs buffer their engine-event
+    /// streams and [`RunCtx::write_traces`] renders them under `dir`.
+    pub fn with_trace_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.trace_dir = dir;
+        self
+    }
+
+    /// Whether driven runs should record their engine-event streams.
+    pub fn tracing(&self) -> bool {
+        self.trace_dir.is_some()
     }
 
     /// Runs `f` over `items` as leaf jobs on the shared bounded pool;
@@ -189,6 +274,67 @@ impl RunCtx {
         logs.sort_by_key(|l| l.sort_key());
         logs
     }
+
+    /// Records a driven run's engine-event stream (no-op unless tracing).
+    pub fn log_trace(&self, trace: TraceLog) {
+        if self.tracing() {
+            self.traces
+                .lock()
+                .expect("trace collector poisoned")
+                .push(trace);
+        }
+    }
+
+    /// Writes every collected trace under the context's trace directory
+    /// as `<scenario>__<strategy>.jsonl` + `.chrome.json` (an index
+    /// suffix disambiguates runs sharing a label). Traces are sorted by
+    /// the same key as the run logs first, and filenames derive only
+    /// from run labels, so the directory contents are byte-identical for
+    /// any worker count. Returns the number of runs written.
+    pub fn write_traces(&self) -> std::io::Result<usize> {
+        let Some(dir) = &self.trace_dir else {
+            return Ok(0);
+        };
+        let mut traces =
+            std::mem::take(&mut *self.traces.lock().expect("trace collector poisoned"));
+        traces.sort_by_key(|t| t.sort_key());
+        if traces.is_empty() {
+            return Ok(0);
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut used: BTreeMap<String, usize> = BTreeMap::new();
+        for t in &traces {
+            let base = sanitize_filename(&format!("{}__{}", t.scenario, t.strategy));
+            let n = used.entry(base.clone()).or_insert(0);
+            let name = if *n == 0 {
+                base.clone()
+            } else {
+                format!("{base}__{n}")
+            };
+            *n += 1;
+            std::fs::write(dir.join(format!("{name}.jsonl")), to_jsonl(&t.events))?;
+            std::fs::write(
+                dir.join(format!("{name}.chrome.json")),
+                to_chrome_trace(&t.events),
+            )?;
+        }
+        Ok(traces.len())
+    }
+}
+
+/// Collapses a run label into a filesystem-safe name: `[A-Za-z0-9._-]`
+/// kept, every other character (spaces, `:`, `/`) becomes `-`.
+fn sanitize_filename(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// One experiment's outcome.
@@ -291,16 +437,23 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
                 let gate = Arc::clone(&gate);
                 let quick = opts.quick;
                 let progress = opts.progress;
+                let trace_dir = opts.trace_dir.as_ref().map(|d| d.join(e.id));
                 scope.spawn(move || {
                     if progress {
                         eprintln!(">> running {}: {}", e.id, e.description);
                     }
-                    let ctx = RunCtx::new(quick, gate);
+                    let ctx = RunCtx::new(quick, gate).with_trace_dir(trace_dir);
                     let start = Stopwatch::start();
                     let figures = (e.run)(&ctx);
+                    let traced = ctx
+                        .write_traces()
+                        .expect("trace directory must be writable");
                     let wall = start.elapsed();
                     if progress {
                         eprintln!("<< {} done in {:.1?}", e.id, wall);
+                        if traced > 0 {
+                            eprintln!("   {} traced {traced} runs", e.id);
+                        }
                     }
                     ExperimentResult {
                         id: e.id,
@@ -422,6 +575,10 @@ mod tests {
             kill_nodes: vec![4],
             recoveries: vec![],
             events: 0,
+            outages: 0,
+            refails: 0,
+            outages_recovered: 0,
+            wall_s: 0.0,
         };
         ctx.log_run(mk("b", "Storm"));
         ctx.log_run(mk("a", "Storm"));

@@ -69,7 +69,8 @@ pub struct ActionRecord {
 
 /// Everything a [`crate::Simulation::drive`] run produces: the ordinary
 /// run report, the control actions taken, the CPU the control plane
-/// charged for state shipping, and the failure trace the feed resolved to.
+/// charged for state shipping, the run's metrics, and the failure trace
+/// the feed resolved to.
 #[derive(Debug, Clone)]
 pub struct DriveReport {
     pub report: RunReport,
@@ -78,6 +79,9 @@ pub struct DriveReport {
     /// CPU charged for control-plane state shipping (migrations and
     /// replica activations), over and above the report's per-task stats.
     pub control_cpu: SimDuration,
+    /// Name-ordered snapshot of the run's observability metrics
+    /// (counters, gauges, fixed-bucket histograms).
+    pub metrics: ppa_obs::MetricsSnapshot,
     /// The failure trace the feed resolved to (replayable).
     pub trace: FailureTrace,
 }

@@ -54,8 +54,8 @@ pub use estimate::{
 };
 pub use feed::FaultFeed;
 pub use placement::{
-    plan_evacuation, Cluster, DomainSpread, MoveRole, Packed, Placement, PlacementError,
-    PlacementStrategy, RoundRobin, TaskMove,
+    move_counts, plan_evacuation, Cluster, DomainSpread, MoveRole, Packed, Placement,
+    PlacementError, PlacementStrategy, RoundRobin, TaskMove,
 };
 pub use query::{Query, QueryBuilder};
 pub use report::{
@@ -65,5 +65,8 @@ pub use runtime::{FailureSpec, Simulation};
 // Re-exported so engine users can build replayable failure scenarios
 // without naming the faults crate explicitly.
 pub use ppa_faults::{DomainId, FailureEvent, FailureTrace, FaultDomainTree};
+// Re-exported so harnesses can attach sinks and read metrics without
+// naming the obs crate explicitly.
+pub use ppa_obs::{EngineEvent, MetricsRegistry, MetricsSnapshot, TraceSink, VecSink};
 pub use tuple::{Key, Tuple, Value};
 pub use udf::{BatchCtx, InputBatch, SourceGen, Udf};

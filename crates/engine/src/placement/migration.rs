@@ -108,6 +108,13 @@ pub fn plan_evacuation(
     Ok(moves)
 }
 
+/// `(primaries, standbys)` planned in `moves` — the shape the
+/// observability layer records for a scheduled migration.
+pub fn move_counts(moves: &[TaskMove]) -> (usize, usize) {
+    let primaries = moves.iter().filter(|m| m.role == MoveRole::Primary).count();
+    (primaries, moves.len() - primaries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +222,18 @@ mod tests {
             load[mv.to] += 1;
         }
         assert!((12..24).all(|n| load[n] == 1), "{moves:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn move_counts_splits_roles() -> TestResult {
+        let p = placement()?;
+        let rack0 = p.domain_of(0).ok_or("node 0 has no fault domain")?;
+        let moves = plan_evacuation(&p, &[rack0], &[true; 6])?;
+        let (primaries, standbys) = move_counts(&moves);
+        assert_eq!(primaries, 4);
+        assert_eq!(standbys, 0);
+        assert_eq!(move_counts(&[]), (0, 0));
         Ok(())
     }
 

@@ -23,7 +23,7 @@ mod migration;
 mod strategy;
 
 pub use error::PlacementError;
-pub use migration::{plan_evacuation, MoveRole, TaskMove};
+pub use migration::{move_counts, plan_evacuation, MoveRole, TaskMove};
 pub use strategy::{Cluster, DomainSpread, Packed, PlacementStrategy, RoundRobin};
 
 use ppa_core::model::{TaskGraph, TaskIndex};

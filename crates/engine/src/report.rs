@@ -130,8 +130,13 @@ pub struct TaskThroughput {
 
 impl TaskThroughput {
     /// Mean output rate in tuples/s over a run of `secs` seconds.
+    ///
+    /// A degenerate horizon — zero, negative, or NaN `secs` — yields 0.0
+    /// rather than an infinity or NaN that would poison every downstream
+    /// mean (`secs <= 0.0` alone would let NaN straight through, since
+    /// every comparison against NaN is false).
     pub fn out_rate(&self, secs: f64) -> f64 {
-        if secs <= 0.0 {
+        if secs.is_nan() || secs <= 0.0 {
             return 0.0;
         }
         self.tuples_out as f64 / secs
@@ -289,6 +294,10 @@ mod tests {
         };
         assert!((t.out_rate(10.0) - 100.0).abs() < 1e-9);
         assert_eq!(t.out_rate(0.0), 0.0);
+        // Degenerate horizons never produce inf/NaN rates.
+        assert_eq!(t.out_rate(-5.0), 0.0);
+        assert_eq!(t.out_rate(f64::NAN), 0.0);
+        assert_eq!(t.out_rate(f64::NEG_INFINITY), 0.0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::control::{
 };
 use crate::error::EngineError;
 use crate::feed::FaultFeed;
-use crate::placement::{plan_evacuation, MoveRole, NodeId, Placement};
+use crate::placement::{move_counts, plan_evacuation, MoveRole, NodeId, Placement};
 use crate::query::Query;
 use crate::report::{
     CpuStats, Lifecycle, OutageRecord, RunReport, SinkBatch, TaskOutages, TaskRecovery,
@@ -41,6 +41,8 @@ use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
 use ppa_core::model::{TaskGraph, TaskIndex};
 use ppa_core::{AdaptivePlanner, StructureAwarePlanner, TaskSet};
 use ppa_faults::FailureTrace;
+use ppa_obs::metrics::LATENCY_BUCKETS_US;
+use ppa_obs::{EngineEvent, MetricsRegistry, TraceSink};
 use ppa_sim::{Scheduler, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -231,6 +233,16 @@ pub struct Simulation {
     active_plan: TaskSet,
     /// Whether the periodic replica-sync event is on the schedule.
     replica_sync_running: bool,
+    /// Attached trace sink, if any; lifecycle transitions are recorded
+    /// into it as typed [`EngineEvent`]s at their simulated instants.
+    trace_sink: Option<Box<dyn TraceSink>>,
+    /// Deterministic run metrics fed by the same transitions, snapshotted
+    /// into the [`DriveReport`].
+    metrics: MetricsRegistry,
+    /// Per logical task: whether the currently open outage record has
+    /// already produced tentative (proxied) output — the first proxy of a
+    /// record emits `TentativeResumed`.
+    proxied: Vec<bool>,
 }
 
 impl Simulation {
@@ -393,6 +405,9 @@ impl Simulation {
             domain_health,
             active_plan,
             replica_sync_running: false,
+            trace_sink: None,
+            metrics: MetricsRegistry::new(),
+            proxied: vec![false; n],
             config,
         };
         sim.bootstrap();
@@ -625,6 +640,12 @@ impl Simulation {
             }
             match next_epoch {
                 Some(e) if e < until => {
+                    let scores: Vec<(usize, f64)> = self
+                        .domain_health
+                        .as_ref()
+                        .map(|h| h.snapshot(e).into_iter().enumerate().collect())
+                        .unwrap_or_default();
+                    self.note(e, EngineEvent::EpochHealthSnapshot { scores });
                     let acts = policy.on_epoch(&self.health_view(e));
                     self.apply_actions(e, acts, &mut actions, &mut control_cpu);
                     next_epoch = Some(e + epoch.expect("next_epoch implies an interval"));
@@ -636,6 +657,7 @@ impl Simulation {
             report: self.report_at(until),
             actions,
             control_cpu,
+            metrics: self.metrics.snapshot(),
             trace,
         })
     }
@@ -671,6 +693,73 @@ impl Simulation {
         &self.lifecycle
     }
 
+    /// Attaches a trace sink: every subsequent lifecycle transition is
+    /// recorded into it as a typed [`EngineEvent`] at its simulated
+    /// instant. Replaces any previously attached sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Detaches and returns the attached trace sink, if any — the way a
+    /// harness gets its buffered events back after a drive.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_sink.take()
+    }
+
+    /// A name-ordered snapshot of the run's metrics so far.
+    pub fn metrics_snapshot(&self) -> ppa_obs::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Records one lifecycle transition: always into the metrics
+    /// registry, and into the trace sink when one is attached. `at` is
+    /// the transition's *semantic* instant — a recovery completes at a
+    /// CPU horizon that can run ahead of the event-loop clock.
+    fn note(&mut self, at: SimTime, event: EngineEvent) {
+        match &event {
+            EngineEvent::FailureInjected { nodes } => {
+                self.metrics.inc("engine.failures.waves");
+                self.metrics
+                    .add("engine.failures.nodes_killed", nodes.len() as u64);
+            }
+            EngineEvent::OutageOpened { refail, .. } => {
+                self.metrics.inc("engine.outages.opened");
+                if *refail {
+                    self.metrics.inc("engine.outages.refails");
+                    self.metrics.inc("engine.recovery.setbacks");
+                }
+            }
+            EngineEvent::RecoverySetback { .. } => {
+                self.metrics.inc("engine.recovery.setbacks");
+            }
+            EngineEvent::OutageDetected { .. } => self.metrics.inc("engine.outages.detected"),
+            EngineEvent::RestoreStarted { .. } => self.metrics.inc("engine.restores.started"),
+            EngineEvent::RestoreDone { .. } => self.metrics.inc("engine.recoveries.via_restore"),
+            EngineEvent::RestoreVoided { .. } => self.metrics.inc("engine.restores.voided"),
+            EngineEvent::ReplicaActivated { .. } => {
+                self.metrics.inc("engine.recoveries.via_replica");
+            }
+            EngineEvent::TentativeResumed { .. } => self.metrics.inc("engine.tentative.resumed"),
+            EngineEvent::ReplanAdopted { plan_size, .. } => {
+                self.metrics.inc("engine.control.replans");
+                self.metrics
+                    .set_gauge("engine.plan.active_replicas", *plan_size as f64);
+            }
+            EngineEvent::MigrationScheduled { .. } => self.metrics.inc("engine.control.migrations"),
+            EngineEvent::ControlNoEffect { .. } => self.metrics.inc("engine.control.no_effect"),
+            EngineEvent::EpochHealthSnapshot { scores } => {
+                self.metrics.inc("engine.epochs");
+                for &(_, score) in scores {
+                    self.metrics
+                        .max_gauge("engine.health.max_domain_score", score);
+                }
+            }
+        }
+        if let Some(sink) = self.trace_sink.as_mut() {
+            sink.record(at, &event);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Outage bookkeeping: the replica lifecycle state machine
     // ------------------------------------------------------------------
@@ -703,13 +792,13 @@ impl Simulation {
             }
         };
         let records = &mut self.outages[idx].records;
-        let setback = match records.last_mut() {
+        let (rearmed, refail) = match records.last_mut() {
             Some(last) if last.open() => {
                 // Died again mid-recovery: the outage continues, but the
                 // recovery path (and any pending takeover) is void.
                 last.detected_at = SimTime::MAX;
                 last.via_replica = false;
-                true
+                (true, false)
             }
             _ => {
                 records.push(OutageRecord {
@@ -718,11 +807,11 @@ impl Simulation {
                     detected_at: SimTime::MAX,
                     recovered_at: None,
                 });
-                records.len() > 1
+                (false, records.len() > 1)
             }
         };
         let n_records = records.len();
-        if setback {
+        if rearmed || refail {
             self.recovery_setbacks += 1;
         }
         self.lifecycle[t] = if n_records > 1 {
@@ -730,16 +819,40 @@ impl Simulation {
         } else {
             Lifecycle::Failed
         };
+        if rearmed {
+            self.note(now, EngineEvent::RecoverySetback { task: t });
+        } else {
+            // A fresh record: its first proxied output is still to come.
+            self.proxied[t] = false;
+            self.note(now, EngineEvent::OutageOpened { task: t, refail });
+        }
     }
 
     /// Marks task `t`'s current outage recovered at `at` (idempotent per
-    /// outage) and moves its lifecycle to `Recovered`.
+    /// outage) and moves its lifecycle to `Recovered`. The single funnel
+    /// every recovery path closes through, so exactly one closing event
+    /// (`ReplicaActivated` or `RestoreDone`) is recorded per record.
     fn mark_recovered(&mut self, t: usize, at: SimTime) {
+        let mut closed = None;
         if let Some(rec) = self.current_outage_mut(t) {
             if rec.recovered_at.is_none() {
                 rec.recovered_at = Some(at);
+                closed = Some((rec.via_replica, rec.failed_at));
             }
             self.lifecycle[t] = Lifecycle::Recovered;
+        }
+        if let Some((via_replica, failed_at)) = closed {
+            self.metrics.observe(
+                "engine.recovery.latency_us",
+                LATENCY_BUCKETS_US,
+                at.since(failed_at).as_micros(),
+            );
+            let event = if via_replica {
+                EngineEvent::ReplicaActivated { task: t }
+            } else {
+                EngineEvent::RestoreDone { task: t }
+            };
+            self.note(at, event);
         }
     }
 
@@ -773,6 +886,10 @@ impl Simulation {
                     self.apply_migration(&domains, at, control_cpu)
                 }
             };
+            if let ActionOutcome::NoEffect { action, reason } = &outcome {
+                let (action, reason) = (*action, *reason);
+                self.note(at, EngineEvent::ControlNoEffect { action, reason });
+            }
             out.push(ActionRecord { at, outcome });
         }
     }
@@ -871,6 +988,14 @@ impl Simulation {
             }
         }
         self.active_plan = adopted;
+        self.note(
+            at,
+            EngineEvent::ReplanAdopted {
+                activated,
+                deactivated,
+                plan_size: self.active_plan.len(),
+            },
+        );
         ActionOutcome::Replanned {
             activated,
             deactivated,
@@ -895,6 +1020,7 @@ impl Simulation {
                 }
             }
         };
+        let (planned_primaries, planned_standbys) = move_counts(&moves);
         let mut primaries = 0;
         let mut standbys = 0;
         for m in moves {
@@ -930,6 +1056,15 @@ impl Simulation {
                 }
             }
         }
+        self.note(
+            at,
+            EngineEvent::MigrationScheduled {
+                planned_primaries,
+                planned_standbys,
+                moved_primaries: primaries,
+                moved_standbys: standbys,
+            },
+        );
         ActionOutcome::Migrated {
             primaries,
             standbys,
@@ -1668,12 +1803,25 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_failure(&mut self, idx: usize) {
-        let nodes = self.failures[idx].nodes.clone();
         let now = self.sched.now();
-        for node in nodes {
-            if !self.node_alive[node] {
-                continue; // an earlier trace event already killed it
-            }
+        // Only nodes actually killed by *this* event enter the record —
+        // nodes an earlier trace event already took down are not listed.
+        let killed: Vec<NodeId> = self.failures[idx]
+            .nodes
+            .clone()
+            .into_iter()
+            .filter(|&n| self.node_alive[n])
+            .collect();
+        if killed.is_empty() {
+            return;
+        }
+        self.note(
+            now,
+            EngineEvent::FailureInjected {
+                nodes: killed.clone(),
+            },
+        );
+        for node in killed {
             self.node_alive[node] = false;
             self.record_domain_failure(node, now);
             for rt in 0..self.tasks.len() {
@@ -1720,6 +1868,7 @@ impl Simulation {
                             rec.via_replica = false;
                         }
                         self.recovery_setbacks += 1;
+                        self.note(now, EngineEvent::RecoverySetback { task: logical });
                         self.start_recovery(logical);
                     }
                 }
@@ -1762,9 +1911,19 @@ impl Simulation {
             if !undetected {
                 continue; // never failed, already detected, or recovered
             }
+            let mut failed_at = None;
             if let Some(rec) = self.current_outage_mut(t) {
                 rec.detected_at = now;
+                failed_at = Some(rec.failed_at);
             }
+            if let Some(failed) = failed_at {
+                self.metrics.observe(
+                    "engine.outage.detection_us",
+                    LATENCY_BUCKETS_US,
+                    now.since(failed).as_micros(),
+                );
+            }
+            self.note(now, EngineEvent::OutageDetected { task: t });
             self.start_recovery(t);
         }
     }
@@ -1807,6 +1966,14 @@ impl Simulation {
                 self.lifecycle[t] = Lifecycle::Replaying;
                 let finish = self.reserve(standby, work);
                 self.sched.at(finish, Event::RestoreDone { rt: t });
+                let now = self.sched.now();
+                self.note(
+                    now,
+                    EngineEvent::RestoreStarted {
+                        task: t,
+                        node: standby,
+                    },
+                );
             }
             FtMode::SourceReplay { .. } => {
                 if !self.config.passive_recovery {
@@ -1821,6 +1988,14 @@ impl Simulation {
                 let work = self.config.costs.batch_overhead;
                 let finish = self.reserve(standby, work);
                 self.sched.at(finish, Event::RestoreDone { rt: t });
+                let now = self.sched.now();
+                self.note(
+                    now,
+                    EngineEvent::RestoreStarted {
+                        task: t,
+                        node: standby,
+                    },
+                );
             }
         }
     }
@@ -1847,6 +2022,9 @@ impl Simulation {
         // outage was re-armed and the re-detection path owns the task now
         // (resurrecting it here would run it on a dead node).
         if self.tasks[rt].status != Status::Restoring {
+            let logical = self.tasks[rt].logical.0;
+            let now = self.sched.now();
+            self.note(now, EngineEvent::RestoreVoided { task: logical });
             return;
         }
         match &self.config.mode {
@@ -2106,6 +2284,13 @@ impl Simulation {
                 .iter()
                 .map(|tgt| (tgt.to, tgt.to_substream))
                 .collect();
+            if !self.proxied[t] && !targets.is_empty() {
+                // The first proxy of this outage record: tentative
+                // (degraded) output starts flowing downstream.
+                self.proxied[t] = true;
+                let now = self.sched.now();
+                self.note(now, EngineEvent::TentativeResumed { task: t });
+            }
             for (to, substream) in targets {
                 self.sched.at(
                     at,

@@ -9,6 +9,9 @@ use crate::query::{Query, QueryBuilder};
 use crate::udf::{BatchCtx, CountingSource, InputBatch, Udf, WindowBuffer};
 use ppa_core::model::{OperatorSpec, Partitioning};
 use ppa_core::TaskSet;
+use std::error::Error;
+
+type TestResult = Result<(), Box<dyn Error>>;
 
 /// A stateful pass-through holding a sliding window of its input — the
 /// shape of the paper's synthetic operators (state grows with window×rate).
@@ -47,7 +50,7 @@ impl Udf for WindowedPass {
 }
 
 /// source(2 tasks) -> mid(2, one-to-one) -> sink(1, merge).
-fn chain_query(per_batch: usize, window_batches: u64) -> Query {
+fn chain_query(per_batch: usize, window_batches: u64) -> Result<Query, Box<dyn Error>> {
     let mut q = QueryBuilder::new();
     let s = q.add_source(
         OperatorSpec::source("src", 2, per_batch as f64),
@@ -65,14 +68,14 @@ fn chain_query(per_batch: usize, window_batches: u64) -> Query {
     let k = q.add_operator(OperatorSpec::map("sink", 1, 1.0), move |_| {
         Box::new(WindowedPass::new(window_batches))
     });
-    q.connect(s, m, Partitioning::OneToOne).unwrap();
-    q.connect(m, k, Partitioning::Merge).unwrap();
-    q.build().unwrap()
+    q.connect(s, m, Partitioning::OneToOne)?;
+    q.connect(m, k, Partitioning::Merge)?;
+    Ok(q.build()?)
 }
 
 /// source(12) -> mid(12, one-to-one) -> sink(1, merge): twelve identical
 /// stateful mids, for aggregate-migration accounting.
-fn wide_query(per_batch: usize, window_batches: u64) -> Query {
+fn wide_query(per_batch: usize, window_batches: u64) -> Result<Query, Box<dyn Error>> {
     let mut q = QueryBuilder::new();
     let s = q.add_source(
         OperatorSpec::source("src", 12, per_batch as f64),
@@ -90,15 +93,20 @@ fn wide_query(per_batch: usize, window_batches: u64) -> Query {
     let k = q.add_operator(OperatorSpec::map("sink", 1, 1.0), move |_| {
         Box::new(WindowedPass::new(window_batches))
     });
-    q.connect(s, m, Partitioning::OneToOne).unwrap();
-    q.connect(m, k, Partitioning::Merge).unwrap();
-    q.build().unwrap()
+    q.connect(s, m, Partitioning::OneToOne)?;
+    q.connect(m, k, Partitioning::Merge)?;
+    Ok(q.build()?)
 }
 
-fn one_task_per_node(q: &Query) -> Placement {
+fn one_task_per_node(q: &Query) -> Result<Placement, Box<dyn Error>> {
     let graph = ppa_core::model::TaskGraph::new(q.topology().clone());
     let n = graph.n_tasks();
-    Placement::explicit((0..n).collect(), (n..2 * n).collect(), n, n).expect("valid placement")
+    Ok(Placement::explicit(
+        (0..n).collect(),
+        (n..2 * n).collect(),
+        n,
+        n,
+    )?)
 }
 
 fn base_config(mode: FtMode) -> EngineConfig {
@@ -114,11 +122,11 @@ fn node_of(t: usize) -> usize {
 }
 
 #[test]
-fn data_flows_to_the_sink() {
-    let q = chain_query(100, 5);
+fn data_flows_to_the_sink() -> TestResult {
+    let q = chain_query(100, 5)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::None),
         vec![],
         SimDuration::from_secs(10),
@@ -133,20 +141,21 @@ fn data_flows_to_the_sink() {
     let batches: Vec<u64> = report.sink.iter().map(|s| s.batch).collect();
     let expect: Vec<u64> = (0..batches.len() as u64).collect();
     assert_eq!(batches, expect);
+    Ok(())
 }
 
 #[test]
-fn runs_are_deterministic() {
+fn runs_are_deterministic() -> TestResult {
     let digest = |rep: &RunReport| -> Vec<(u64, usize, bool)> {
         rep.sink
             .iter()
             .map(|s| (s.batch, s.tuples.len(), s.tentative))
             .collect()
     };
-    let q = chain_query(50, 5);
+    let q = chain_query(50, 5)?;
     let a = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![FailureSpec {
             at: SimTime::from_secs(12),
@@ -154,10 +163,10 @@ fn runs_are_deterministic() {
         }],
         SimDuration::from_secs(40),
     );
-    let q2 = chain_query(50, 5);
+    let q2 = chain_query(50, 5)?;
     let b = Simulation::run(
         &q2,
-        one_task_per_node(&q2),
+        one_task_per_node(&q2)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![FailureSpec {
             at: SimTime::from_secs(12),
@@ -167,15 +176,16 @@ fn runs_are_deterministic() {
     );
     assert_eq!(digest(&a), digest(&b));
     assert_eq!(a.events, b.events);
+    Ok(())
 }
 
 #[test]
-fn checkpoint_recovery_restores_progress() {
-    let q = chain_query(100, 10);
+fn checkpoint_recovery_restores_progress() -> TestResult {
+    let q = chain_query(100, 10)?;
     // Kill the node hosting mid task 0 (task index 2) at t=14s.
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -189,14 +199,14 @@ fn checkpoint_recovery_restores_progress() {
     assert!(!r.via_replica);
     // Detection on the next 5s heartbeat boundary after the failure.
     assert_eq!(r.detected_at, SimTime::from_secs(15));
-    let latency = r.latency().expect("must recover within the run");
+    let latency = r.latency().ok_or("must recover within the run")?;
     assert!(latency > SimDuration::ZERO);
     assert!(
         latency < SimDuration::from_secs(30),
         "recovery took {latency} — replay backlog too slow"
     );
     // After full recovery the sink produces complete batches again.
-    let recovered_at = r.recovered_at.unwrap();
+    let recovered_at = r.recovered_at.ok_or("recovered within the run")?;
     let late: Vec<_> = report
         .sink
         .iter()
@@ -204,14 +214,15 @@ fn checkpoint_recovery_restores_progress() {
         .collect();
     assert!(!late.is_empty());
     assert!(late.iter().all(|s| s.tuples.len() == 200 && !s.tentative));
+    Ok(())
 }
 
 #[test]
-fn tentative_outputs_flow_during_recovery() {
-    let q = chain_query(100, 10);
+fn tentative_outputs_flow_during_recovery() -> TestResult {
+    let q = chain_query(100, 10)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
         vec![FailureSpec {
             at: SimTime::from_secs(21),
@@ -232,20 +243,25 @@ fn tentative_outputs_flow_during_recovery() {
     // The first tentative output arrives quickly after detection (≪ full
     // recovery — the conclusion's headline effect).
     let detected = report.recoveries[0].detected_at;
-    let first_tentative = report.first_tentative_after(detected).unwrap();
-    let recovered = report.recoveries[0].recovered_at.unwrap();
+    let first_tentative = report
+        .first_tentative_after(detected)
+        .ok_or("tentative output after detection")?;
+    let recovered = report.recoveries[0]
+        .recovered_at
+        .ok_or("recovered within the run")?;
     assert!(first_tentative < recovered);
     assert!(first_tentative.since(detected) < SimDuration::from_secs(3));
+    Ok(())
 }
 
 #[test]
-fn no_tentative_outputs_when_disabled() {
-    let q = chain_query(100, 10);
+fn no_tentative_outputs_when_disabled() -> TestResult {
+    let q = chain_query(100, 10)?;
     let mut config = base_config(FtMode::checkpoint(5, SimDuration::from_secs(15)));
     config.tentative_outputs = false;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         config,
         vec![FailureSpec {
             at: SimTime::from_secs(21),
@@ -257,15 +273,16 @@ fn no_tentative_outputs_when_disabled() {
     // The sink simply stalls until the mid recovers, then catches up with
     // complete batches.
     assert!(report.sink.iter().all(|s| s.tuples.len() == 200));
+    Ok(())
 }
 
 #[test]
-fn replica_takeover_is_fast() {
-    let q = chain_query(100, 10);
+fn replica_takeover_is_fast() -> TestResult {
+    let q = chain_query(100, 10)?;
     let n = 5;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::active(n)),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -275,7 +292,7 @@ fn replica_takeover_is_fast() {
     );
     let r = &report.recoveries[0];
     assert!(r.via_replica);
-    let active_latency = r.latency().unwrap();
+    let active_latency = r.latency().ok_or("takeover completes")?;
     assert!(
         active_latency < SimDuration::from_secs(1),
         "takeover should be near-instant, got {active_latency}"
@@ -287,16 +304,18 @@ fn replica_takeover_is_fast() {
         b.dedup();
         b
     };
-    let expect: Vec<u64> = (0..*batches.last().unwrap() + 1).collect();
+    let last = batches.last().copied().ok_or("sink produced batches")?;
+    let expect: Vec<u64> = (0..last + 1).collect();
     assert_eq!(batches, expect, "no sink gaps across the takeover");
+    Ok(())
 }
 
 #[test]
-fn active_beats_checkpoint_on_latency() {
-    let q = chain_query(100, 10);
+fn active_beats_checkpoint_on_latency() -> TestResult {
+    let q = chain_query(100, 10)?;
     let active = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::active(5)),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -304,10 +323,10 @@ fn active_beats_checkpoint_on_latency() {
         }],
         SimDuration::from_secs(60),
     );
-    let q2 = chain_query(100, 10);
+    let q2 = chain_query(100, 10)?;
     let passive = Simulation::run(
         &q2,
-        one_task_per_node(&q2),
+        one_task_per_node(&q2)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -315,18 +334,19 @@ fn active_beats_checkpoint_on_latency() {
         }],
         SimDuration::from_secs(60),
     );
-    let a = active.recoveries[0].latency().unwrap();
-    let p = passive.recoveries[0].latency().unwrap();
+    let a = active.recoveries[0].latency().ok_or("active recovers")?;
+    let p = passive.recoveries[0].latency().ok_or("passive recovers")?;
     assert!(a < p, "active {a} must beat passive {p}");
+    Ok(())
 }
 
 #[test]
-fn longer_checkpoint_interval_slows_recovery() {
-    let lat = |interval: u64| {
-        let q = chain_query(100, 10);
+fn longer_checkpoint_interval_slows_recovery() -> TestResult {
+    let lat = |interval: u64| -> Result<SimDuration, Box<dyn Error>> {
+        let q = chain_query(100, 10)?;
         let rep = Simulation::run(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(interval))),
             vec![FailureSpec {
                 at: SimTime::from_secs(33),
@@ -334,45 +354,47 @@ fn longer_checkpoint_interval_slows_recovery() {
             }],
             SimDuration::from_secs(120),
         );
-        rep.recoveries[0].latency().expect("recovers")
+        Ok(rep.recoveries[0].latency().ok_or("recovers")?)
     };
-    let fast = lat(5);
-    let slow = lat(30);
+    let fast = lat(5)?;
+    let slow = lat(30)?;
     assert!(
         slow > fast,
         "30s checkpoints ({slow}) must recover slower than 5s ({fast})"
     );
+    Ok(())
 }
 
 #[test]
-fn checkpoint_cpu_ratio_grows_with_frequency() {
-    let ratio = |interval: u64| {
-        let q = chain_query(200, 20);
+fn checkpoint_cpu_ratio_grows_with_frequency() -> TestResult {
+    let ratio = |interval: u64| -> Result<f64, Box<dyn Error>> {
+        let q = chain_query(200, 20)?;
         let rep = Simulation::run(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(interval))),
             vec![],
             SimDuration::from_secs(60),
         );
         // Mid task 0 (task 2) is a stateful windowed op.
-        rep.cpu[2].checkpoint_ratio()
+        Ok(rep.cpu[2].checkpoint_ratio())
     };
-    let frequent = ratio(1);
-    let rare = ratio(15);
+    let frequent = ratio(1)?;
+    let rare = ratio(15)?;
     assert!(
         frequent > rare,
         "1s interval ({frequent}) must cost more than 15s ({rare})"
     );
     assert!(frequent > 0.0 && rare > 0.0);
+    Ok(())
 }
 
 #[test]
-fn storm_source_replay_recovers() {
-    let q = chain_query(100, 8);
+fn storm_source_replay_recovers() -> TestResult {
+    let q = chain_query(100, 8)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::SourceReplay {
             buffer: SimDuration::from_secs(10),
         }),
@@ -386,7 +408,7 @@ fn storm_source_replay_recovers() {
     assert!(r.recovered_at.is_some(), "storm replay must complete");
     assert!(!r.via_replica);
     // After recovery the sink is whole again.
-    let recovered = r.recovered_at.unwrap();
+    let recovered = r.recovered_at.ok_or("storm replay completes")?;
     let late: Vec<_> = report
         .sink
         .iter()
@@ -394,15 +416,16 @@ fn storm_source_replay_recovers() {
         .collect();
     assert!(!late.is_empty());
     assert!(late.iter().all(|s| s.tuples.len() == 200));
+    Ok(())
 }
 
 #[test]
-fn storm_replay_reaches_deep_tasks_through_hops() {
+fn storm_replay_reaches_deep_tasks_through_hops() -> TestResult {
     // Kill the sink: replay must cascade source -> mid -> sink.
-    let q = chain_query(100, 8);
+    let q = chain_query(100, 8)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::SourceReplay {
             buffer: SimDuration::from_secs(10),
         }),
@@ -418,15 +441,16 @@ fn storm_replay_reaches_deep_tasks_through_hops() {
         r.recovered_at.is_some(),
         "deep task must recover via hop forwarding"
     );
+    Ok(())
 }
 
 #[test]
-fn correlated_failure_recovers_all_tasks() {
-    let q = chain_query(100, 10);
+fn correlated_failure_recovers_all_tasks() -> TestResult {
+    let q = chain_query(100, 10)?;
     // Kill all three non-source nodes simultaneously.
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -440,24 +464,25 @@ fn correlated_failure_recovers_all_tasks() {
     }
     // Downstream recovery is gated by upstream regeneration: the sink's
     // completion can be no earlier than its upstream mid's.
-    let rec_of = |t: usize| {
+    let rec_of = |t: usize| -> Result<SimTime, Box<dyn Error>> {
         report
             .recoveries
             .iter()
             .find(|r| r.task == TaskIndex(t))
             .and_then(|r| r.recovered_at)
-            .unwrap()
+            .ok_or_else(|| format!("task {t} did not recover").into())
     };
-    assert!(rec_of(4) >= rec_of(2).min(rec_of(3)));
+    assert!(rec_of(4)? >= rec_of(2)?.min(rec_of(3)?));
+    Ok(())
 }
 
 #[test]
-fn correlated_recovery_is_slower_than_single() {
+fn correlated_recovery_is_slower_than_single() -> TestResult {
     let single = {
-        let q = chain_query(100, 10);
+        let q = chain_query(100, 10)?;
         Simulation::run(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
             vec![FailureSpec {
                 at: SimTime::from_secs(33),
@@ -467,10 +492,10 @@ fn correlated_recovery_is_slower_than_single() {
         )
     };
     let correlated = {
-        let q = chain_query(100, 10);
+        let q = chain_query(100, 10)?;
         Simulation::run(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(15))),
             vec![FailureSpec {
                 at: SimTime::from_secs(33),
@@ -479,19 +504,22 @@ fn correlated_recovery_is_slower_than_single() {
             SimDuration::from_secs(150),
         )
     };
-    let s = single.mean_recovery_latency().unwrap();
-    let c = correlated.mean_recovery_latency().unwrap();
+    let s = single.mean_recovery_latency().ok_or("single recovers")?;
+    let c = correlated
+        .mean_recovery_latency()
+        .ok_or("correlated recovers")?;
     assert!(c > s, "correlated ({c}) must exceed single ({s})");
+    Ok(())
 }
 
 #[test]
-fn partial_plan_recovers_replicated_tasks_first() {
-    let q = chain_query(100, 10);
+fn partial_plan_recovers_replicated_tasks_first() -> TestResult {
+    let q = chain_query(100, 10)?;
     // Replicate the sink-side MC-tree: source 0, mid 0, sink.
     let plan = TaskSet::from_tasks(5, [TaskIndex(0), TaskIndex(2), TaskIndex(4)]);
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::ppa(plan, SimDuration::from_secs(15))),
         vec![FailureSpec {
             at: SimTime::from_secs(33),
@@ -499,30 +527,30 @@ fn partial_plan_recovers_replicated_tasks_first() {
         }],
         SimDuration::from_secs(150),
     );
-    let by_task = |t: usize| {
-        report
-            .recoveries
-            .iter()
-            .find(|r| r.task == TaskIndex(t))
-            .unwrap()
-    };
-    assert!(by_task(2).via_replica);
-    assert!(by_task(4).via_replica);
-    assert!(!by_task(3).via_replica);
-    assert!(by_task(2).latency().unwrap() < by_task(3).latency().unwrap());
+    let by_task = |t: usize| report.recoveries.iter().find(|r| r.task == TaskIndex(t));
+    let (mid0, mid1, sink) = (
+        by_task(2).ok_or("task 2 record")?,
+        by_task(3).ok_or("task 3 record")?,
+        by_task(4).ok_or("task 4 record")?,
+    );
+    assert!(mid0.via_replica);
+    assert!(sink.via_replica);
+    assert!(!mid1.via_replica);
+    assert!(mid0.latency().ok_or("task 2 recovers")? < mid1.latency().ok_or("task 3 recovers")?);
     // Tentative outputs during mid-1's passive recovery carry only the
     // replicated half.
     let tentative: Vec<_> = report.sink.iter().filter(|s| s.tentative).collect();
     assert!(!tentative.is_empty());
     assert!(tentative.iter().all(|s| s.tuples.len() == 100));
+    Ok(())
 }
 
 #[test]
-fn failed_source_recovers_by_regeneration() {
-    let q = chain_query(100, 10);
+fn failed_source_recovers_by_regeneration() -> TestResult {
+    let q = chain_query(100, 10)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -534,18 +562,19 @@ fn failed_source_recovers_by_regeneration() {
     assert_eq!(r.task, TaskIndex(0));
     assert!(r.recovered_at.is_some());
     // Sink is whole again at the end.
-    let last = report.sink.last().unwrap();
+    let last = report.sink.last().ok_or("sink produced output")?;
     assert_eq!(last.tuples.len(), 200);
+    Ok(())
 }
 
 #[test]
-fn cost_model_sanity_under_load() {
+fn cost_model_sanity_under_load() -> TestResult {
     // Even at 2000 tuples/s per source the pipeline keeps up: sink batch b
     // arrives within a few batch intervals of (b+1)·B.
-    let q = chain_query(2000, 10);
+    let q = chain_query(2000, 10)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         vec![],
         SimDuration::from_secs(30),
@@ -560,34 +589,36 @@ fn cost_model_sanity_under_load() {
         );
     }
     let _ = CostModel::default();
+    Ok(())
 }
 
 #[test]
-fn delta_checkpoints_cut_checkpoint_cpu() {
-    let ratio = |delta: bool| {
-        let q = chain_query(400, 30); // long window: big full-state snapshots
+fn delta_checkpoints_cut_checkpoint_cpu() -> TestResult {
+    let ratio = |delta: bool| -> Result<f64, Box<dyn Error>> {
+        let q = chain_query(400, 30)?; // long window: big full-state snapshots
         let mut config = base_config(FtMode::checkpoint(5, SimDuration::from_secs(1)));
         config.costs.delta_checkpoints = delta;
         let rep = Simulation::run(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             config,
             vec![],
             SimDuration::from_secs(60),
         );
-        rep.cpu[2].checkpoint_ratio()
+        Ok(rep.cpu[2].checkpoint_ratio())
     };
-    let full = ratio(false);
-    let delta = ratio(true);
+    let full = ratio(false)?;
+    let delta = ratio(true)?;
     assert!(
         delta < full * 0.5,
         "delta checkpoints must slash the 1s-interval cost: {delta} vs {full}"
     );
     assert!(delta > 0.0);
+    Ok(())
 }
 
 #[test]
-fn trace_replay_matches_spec_injection() {
+fn trace_replay_matches_spec_injection() -> TestResult {
     // Replaying a FailureTrace through inject_trace must be observably
     // identical to injecting the equivalent FailureSpecs by hand — the
     // degenerate-trace refactor of the §VI-A experiments rests on this.
@@ -604,14 +635,14 @@ fn trace_replay_matches_spec_injection() {
                 .collect::<Vec<_>>(),
         )
     };
-    let q = chain_query(100, 5);
+    let q = chain_query(100, 5)?;
     let mode = || FtMode::Ppa {
         plan: TaskSet::empty(5),
         checkpoint_interval: Some(SimDuration::from_secs(5)),
     };
     let specs = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(mode()),
         vec![
             FailureSpec {
@@ -630,16 +661,17 @@ fn trace_replay_matches_spec_injection() {
     trace.push(SimTime::from_secs(14), vec![node_of(2)]);
     let traced = Simulation::run_trace(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(mode()),
         &trace,
         SimDuration::from_secs(60),
     );
     assert_eq!(digest(&specs), digest(&traced));
+    Ok(())
 }
 
 #[test]
-fn domain_injection_matches_expanded_kill_set() {
+fn domain_injection_matches_expanded_kill_set() -> TestResult {
     // Killing a fault domain through the placement's node → domain mapping
     // must be observably identical to injecting the expanded node list by
     // hand — `inject_domain` is sugar over the mapping, not a new path.
@@ -656,24 +688,24 @@ fn domain_injection_matches_expanded_kill_set() {
                 .collect::<Vec<_>>(),
         )
     };
-    let q = chain_query(100, 5);
+    let q = chain_query(100, 5)?;
     let mode = || FtMode::Ppa {
         plan: TaskSet::empty(5),
         checkpoint_interval: Some(SimDuration::from_secs(5)),
     };
     // Racks of 2 over all 10 nodes; the rack holding nodes 2-3 hosts the
     // primaries of tasks 2 and 3.
-    let placed = || {
-        one_task_per_node(&q)
-            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+    let placed = || -> Result<Placement, Box<dyn Error>> {
+        Ok(
+            one_task_per_node(&q)?.with_fault_domains(ppa_faults::FaultDomainTree::racks(
                 &(0..10).collect::<Vec<_>>(),
                 2,
-            ))
-            .expect("tree covers the cluster")
+            ))?,
+        )
     };
     let expanded = Simulation::run(
         &q,
-        placed(),
+        placed()?,
         base_config(mode()),
         vec![FailureSpec {
             at: SimTime::from_secs(14),
@@ -681,24 +713,24 @@ fn domain_injection_matches_expanded_kill_set() {
         }],
         SimDuration::from_secs(60),
     );
-    let mut sim = Simulation::new(&q, placed(), base_config(mode()));
+    let mut sim = Simulation::new(&q, placed()?, base_config(mode()));
     let rack = sim
         .placement()
         .domain_of(node_of(2))
-        .expect("node 2 is in a rack");
-    sim.inject_domain(SimTime::from_secs(14), rack)
-        .expect("placement carries domains");
+        .ok_or("node 2 is in a rack")?;
+    sim.inject_domain(SimTime::from_secs(14), rack)?;
     let by_domain = sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     assert_eq!(digest(&expanded), digest(&by_domain));
 
     // Without a domain mapping the call surfaces the typed error.
-    let mut bare = Simulation::new(&q, one_task_per_node(&q), base_config(mode()));
+    let mut bare = Simulation::new(&q, one_task_per_node(&q)?, base_config(mode()));
     assert!(matches!(
         bare.inject_domain(SimTime::from_secs(14), rack),
         Err(crate::error::EngineError::Placement(
             crate::placement::PlacementError::NoFaultDomains
         ))
     ));
+    Ok(())
 }
 
 /// Full observable digest of a run (sink payloads included) for
@@ -718,8 +750,8 @@ fn full_digest(rep: &RunReport) -> (u64, Vec<(u64, Vec<Tuple>, bool)>, Vec<(Task
 }
 
 #[test]
-fn drive_with_static_policy_matches_legacy_run() {
-    let q = chain_query(100, 5);
+fn drive_with_static_policy_matches_legacy_run() -> TestResult {
+    let q = chain_query(100, 5)?;
     let failures = vec![FailureSpec {
         at: SimTime::from_secs(14),
         nodes: vec![node_of(2), node_of(3)],
@@ -728,47 +760,44 @@ fn drive_with_static_policy_matches_legacy_run() {
         // The historical `run` body: inject specs, run the plain loop.
         let mut sim = Simulation::new(
             &q,
-            one_task_per_node(&q),
+            one_task_per_node(&q)?,
             base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
         );
         for f in failures.clone() {
-            sim.inject(f).unwrap();
+            sim.inject(f)?;
         }
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(60))
     };
     let mut sim = Simulation::new(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
     );
-    let driven = sim
-        .drive(
-            &FaultFeed::from_specs(failures),
-            &mut crate::control::StaticPolicy,
-            SimTime::from_secs(60),
-        )
-        .unwrap();
+    let driven = sim.drive(
+        &FaultFeed::from_specs(failures),
+        &mut crate::control::StaticPolicy,
+        SimTime::from_secs(60),
+    )?;
     assert_eq!(full_digest(&legacy), full_digest(&driven.report));
     assert!(driven.actions.is_empty(), "static policy never acts");
     assert!(driven.control_cpu.is_zero());
     assert_eq!(driven.trace.killed_nodes(), vec![node_of(2), node_of(3)]);
+    Ok(())
 }
 
 #[test]
-fn drive_feed_unifies_domains_and_specs() {
+fn drive_feed_unifies_domains_and_specs() -> TestResult {
     // A feed mixing a domain entry and a spec entry must behave exactly
     // like the pre-expanded spec list.
-    let q = chain_query(100, 5);
+    let q = chain_query(100, 5)?;
     let tree = || ppa_faults::FaultDomainTree::racks(&(0..10).collect::<Vec<_>>(), 2);
-    let placed = || {
-        one_task_per_node(&q)
-            .with_fault_domains(tree())
-            .expect("tree covers the cluster")
+    let placed = || -> Result<Placement, Box<dyn Error>> {
+        Ok(one_task_per_node(&q)?.with_fault_domains(tree())?)
     };
     let mode = || FtMode::checkpoint(5, SimDuration::from_secs(5));
     let expanded = Simulation::run(
         &q,
-        placed(),
+        placed()?,
         base_config(mode()),
         vec![
             FailureSpec {
@@ -782,28 +811,27 @@ fn drive_feed_unifies_domains_and_specs() {
         ],
         SimDuration::from_secs(60),
     );
-    let mut sim = Simulation::new(&q, placed(), base_config(mode()));
-    let rack = sim.placement().domain_of(2).unwrap();
+    let mut sim = Simulation::new(&q, placed()?, base_config(mode()));
+    let rack = sim.placement().domain_of(2).ok_or("node 2 is in a rack")?;
     let feed = FaultFeed::new()
         .with_domain(SimTime::from_secs(14), rack)
         .with_spec(FailureSpec {
             at: SimTime::from_secs(20),
             nodes: vec![4],
         });
-    let driven = sim
-        .drive(
-            &feed,
-            &mut crate::control::StaticPolicy,
-            SimTime::from_secs(60),
-        )
-        .unwrap();
+    let driven = sim.drive(
+        &feed,
+        &mut crate::control::StaticPolicy,
+        SimTime::from_secs(60),
+    )?;
     assert_eq!(full_digest(&expanded), full_digest(&driven.report));
+    Ok(())
 }
 
 #[test]
-fn inject_rejects_malformed_specs_with_typed_errors() {
-    let q = chain_query(50, 5);
-    let mut sim = Simulation::new(&q, one_task_per_node(&q), base_config(FtMode::None));
+fn inject_rejects_malformed_specs_with_typed_errors() -> TestResult {
+    let q = chain_query(50, 5)?;
+    let mut sim = Simulation::new(&q, one_task_per_node(&q)?, base_config(FtMode::None));
     assert_eq!(
         sim.inject(FailureSpec {
             at: SimTime::from_secs(5),
@@ -832,12 +860,12 @@ fn inject_rejects_malformed_specs_with_typed_errors() {
     sim.inject(FailureSpec {
         at: SimTime::from_secs(15),
         nodes: vec![0],
-    })
-    .unwrap();
+    })?;
+    Ok(())
 }
 
 #[test]
-fn replan_reestablishes_replicas_lost_with_their_standbys() {
+fn replan_reestablishes_replicas_lost_with_their_standbys() -> TestResult {
     // Task 2's primary (node 2) and its replica's standby (node 7) share
     // a fault domain that dies as one unit. With passive recovery held
     // down, a static run loses the task for good; a DomainHealthPolicy
@@ -855,11 +883,9 @@ fn replan_reestablishes_replicas_lost_with_their_standbys() {
         }
         t
     };
-    let q = chain_query(100, 5);
-    let placed = || {
-        one_task_per_node(&q)
-            .with_fault_domains(tree())
-            .expect("tree covers the cluster")
+    let q = chain_query(100, 5)?;
+    let placed = || -> Result<Placement, Box<dyn Error>> {
+        Ok(one_task_per_node(&q)?.with_fault_domains(tree())?)
     };
     let config = || {
         let mut c = base_config(FtMode::Ppa {
@@ -877,27 +903,27 @@ fn replan_reestablishes_replicas_lost_with_their_standbys() {
     };
     let until = SimTime::from_secs(80);
 
-    let mut static_sim = Simulation::new(&q, placed(), config());
-    let static_run = static_sim
-        .drive(&feed(), &mut crate::control::StaticPolicy, until)
-        .unwrap();
+    let mut static_sim = Simulation::new(&q, placed()?, config());
+    let static_run = static_sim.drive(&feed(), &mut crate::control::StaticPolicy, until)?;
     let rec_of = |rep: &RunReport, t: usize| {
         rep.recoveries
             .iter()
             .find(|r| r.task == TaskIndex(t))
             .cloned()
-            .expect("recovery record")
     };
     assert!(
-        rec_of(&static_run.report, 2).recovered_at.is_none(),
+        rec_of(&static_run.report, 2)
+            .ok_or("recovery record")?
+            .recovered_at
+            .is_none(),
         "static: task 2 lost primary + replica and passive recovery is off"
     );
 
-    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut adaptive_sim = Simulation::new(&q, placed()?, config());
     let mut policy = crate::control::DomainHealthPolicy::new(Some(5));
     policy.migrate_radius = 0; // the only sibling is "everything else"
-    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
-    let r = rec_of(&adaptive_run.report, 2);
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until)?;
+    let r = rec_of(&adaptive_run.report, 2).ok_or("recovery record")?;
     assert!(
         r.recovered_at.is_some(),
         "adaptive: re-established replica must take over: {r:?}"
@@ -916,24 +942,23 @@ fn replan_reestablishes_replicas_lost_with_their_standbys() {
     assert!(!adaptive_run.control_cpu.is_zero());
     // The re-homed standby is visible through the live placement.
     assert_ne!(adaptive_sim.placement().standby[2], 7);
+    Ok(())
 }
 
 #[test]
-fn migration_evacuates_live_primaries_before_the_next_ring() {
+fn migration_evacuates_live_primaries_before_the_next_ring() -> TestResult {
     // 8 workers + 8 standbys in racks of 2; the 5 tasks sit on nodes
     // 0..5 with workers 5..8 free. Rack {2,3} dies at t=20. A policy
     // with migrate_radius 1 evacuates the neighbouring racks {0,1} and
     // {4,5} immediately — so when rack {4,5} dies 4 s later, the sink
     // task (node 4) has already moved and keeps running.
-    let q = chain_query(100, 5);
-    let placed = || {
-        Placement::explicit((0..5).collect(), (8..13).collect(), 8, 8)
-            .expect("valid placement")
-            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
-                &(0..16).collect::<Vec<_>>(),
-                2,
-            ))
-            .expect("tree covers the cluster")
+    let q = chain_query(100, 5)?;
+    let placed = || -> Result<Placement, Box<dyn Error>> {
+        Ok(
+            Placement::explicit((0..5).collect(), (8..13).collect(), 8, 8)?.with_fault_domains(
+                ppa_faults::FaultDomainTree::racks(&(0..16).collect::<Vec<_>>(), 2),
+            )?,
+        )
     };
     let config = || {
         let mut c = base_config(FtMode::checkpoint(5, SimDuration::from_secs(5)));
@@ -953,10 +978,8 @@ fn migration_evacuates_live_primaries_before_the_next_ring() {
     };
     let until = SimTime::from_secs(60);
 
-    let mut static_sim = Simulation::new(&q, placed(), config());
-    let static_run = static_sim
-        .drive(&feed(), &mut crate::control::StaticPolicy, until)
-        .unwrap();
+    let mut static_sim = Simulation::new(&q, placed()?, config());
+    let static_run = static_sim.drive(&feed(), &mut crate::control::StaticPolicy, until)?;
     // Static: the sink (task 4, node 4) dies in the second ring and the
     // run records its failure.
     assert!(static_run
@@ -965,9 +988,9 @@ fn migration_evacuates_live_primaries_before_the_next_ring() {
         .iter()
         .any(|r| r.task == TaskIndex(4)));
 
-    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut adaptive_sim = Simulation::new(&q, placed()?, config());
     let mut policy = crate::control::DomainHealthPolicy::new(None);
-    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until)?;
     assert!(
         adaptive_run
             .report
@@ -979,18 +1002,19 @@ fn migration_evacuates_live_primaries_before_the_next_ring() {
     );
     assert!(adaptive_run.tasks_migrated() >= 1);
     assert_ne!(adaptive_sim.placement().primary[4], 4, "sink moved");
+    Ok(())
 }
 
 #[test]
-fn source_generator_is_reclaimed_from_a_dead_replica_slot() {
+fn source_generator_is_reclaimed_from_a_dead_replica_slot() -> TestResult {
     // A control-plane-activated source replica consumes the task's spare
     // generator. If that replica's node later dies, re-activation must
     // reclaim the generator from the dead slot — otherwise the source
     // could never be replicated again for the rest of the run.
-    let q = chain_query(50, 5);
+    let q = chain_query(50, 5)?;
     let mut config = base_config(FtMode::ppa(TaskSet::empty(5), SimDuration::from_secs(5)));
     config.passive_recovery = false;
-    let mut sim = Simulation::new(&q, one_task_per_node(&q), config);
+    let mut sim = Simulation::new(&q, one_task_per_node(&q)?, config);
     let mut cpu = SimDuration::ZERO;
     let _ = sim.run_until(SimTime::from_secs(10));
     assert!(
@@ -1001,8 +1025,7 @@ fn source_generator_is_reclaimed_from_a_dead_replica_slot() {
     sim.inject(FailureSpec {
         at: SimTime::from_secs(12),
         nodes: vec![5],
-    })
-    .unwrap();
+    })?;
     let _ = sim.run_until(SimTime::from_secs(20));
     // Re-home the standby and re-activate: the generator must come back
     // out of the dead slot.
@@ -1015,16 +1038,16 @@ fn source_generator_is_reclaimed_from_a_dead_replica_slot() {
     sim.inject(FailureSpec {
         at: SimTime::from_secs(25),
         nodes: vec![node_of(0)],
-    })
-    .unwrap();
+    })?;
     let report = sim.run_until(SimTime::from_secs(60));
     let r = report
         .recoveries
         .iter()
         .find(|r| r.task == TaskIndex(0))
-        .expect("source failure recorded");
+        .ok_or("source failure recorded")?;
     assert!(r.via_replica, "{r:?}");
     assert!(r.recovered_at.is_some(), "{r:?}");
+    Ok(())
 }
 
 /// Policy that orders one whole-domain evacuation at its first epoch.
@@ -1057,7 +1080,7 @@ impl crate::control::ControlPolicy for EvacuateOnce {
 }
 
 #[test]
-fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() {
+fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() -> TestResult {
     // Executable expectation for the ROADMAP's migration-admission-control
     // follow-on: when a whole 12-node domain evacuates in one epoch, the
     // engine charges the aggregate state-ship CPU of every hosted task in
@@ -1065,8 +1088,8 @@ fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() {
     // layout. Nothing bounds the per-epoch total today; an admission
     // control would cap it and spread the excess across epochs (flipping
     // the equality below into a `<`).
-    let evacuate = |rack_size: usize| {
-        let q = wide_query(100, 5);
+    let evacuate = |rack_size: usize| -> Result<crate::control::DriveReport, Box<dyn Error>> {
+        let q = wide_query(100, 5)?;
         let n = 25;
         // Sources on nodes 12..24, the twelve mids on nodes 0..12 (the
         // domain under test), sink on node 24; standbys one per task.
@@ -1078,28 +1101,23 @@ fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() {
             })
             .collect();
         let standby: Vec<usize> = (0..n).map(|t| 25 + t).collect();
-        let placement = Placement::explicit(primary, standby, 25, 25)
-            .unwrap()
-            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
-                &(0..12).collect::<Vec<_>>(),
-                rack_size,
-            ))
-            .unwrap();
+        let placement = Placement::explicit(primary, standby, 25, 25)?.with_fault_domains(
+            ppa_faults::FaultDomainTree::racks(&(0..12).collect::<Vec<_>>(), rack_size),
+        )?;
         let mut sim = Simulation::new(
             &q,
             placement,
             base_config(FtMode::checkpoint(n, SimDuration::from_secs(5))),
         );
-        let domain = sim.placement().domain_of(0).unwrap();
+        let domain = sim.placement().domain_of(0).ok_or("node 0 is in a rack")?;
         let mut policy = EvacuateOnce {
             domain,
             fired: false,
         };
-        sim.drive(&FaultFeed::new(), &mut policy, SimTime::from_secs(40))
-            .unwrap()
+        Ok(sim.drive(&FaultFeed::new(), &mut policy, SimTime::from_secs(40))?)
     };
-    let whole = evacuate(12);
-    let pair = evacuate(2);
+    let whole = evacuate(12)?;
+    let pair = evacuate(2)?;
     assert_eq!(whole.tasks_migrated(), 12, "{:?}", whole.actions);
     assert_eq!(pair.tasks_migrated(), 2, "{:?}", pair.actions);
     // Identical mids evacuated at the same epoch: the aggregate CPU is
@@ -1118,18 +1136,19 @@ fn whole_domain_evacuation_charges_unbounded_aggregate_state_ship() {
         "12 moves must ship state beyond {floor}µs of overhead, got {}",
         whole.control_cpu
     );
+    Ok(())
 }
 
 #[test]
-fn replica_death_after_takeover_opens_second_outage() {
+fn replica_death_after_takeover_opens_second_outage() -> TestResult {
     // Kill a primary, let its replica take over, then kill the replica's
     // node: the task must re-enter the outage path with a second
     // OutageRecord — re-detection, re-proxying, and a fresh recovery via
     // checkpoint fallback — instead of silently counting as recovered.
-    let q = chain_query(100, 10);
+    let q = chain_query(100, 10)?;
     let mut sim = Simulation::new(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::Ppa {
             plan: TaskSet::full(5),
             checkpoint_interval: Some(SimDuration::from_secs(5)),
@@ -1139,13 +1158,11 @@ fn replica_death_after_takeover_opens_second_outage() {
     sim.inject(FailureSpec {
         at: SimTime::from_secs(14),
         nodes: vec![node_of(2)],
-    })
-    .unwrap();
+    })?;
     sim.inject(FailureSpec {
         at: SimTime::from_secs(31),
         nodes: vec![7],
-    })
-    .unwrap();
+    })?;
     let report = sim.run_until(SimTime::from_secs(90));
 
     let outages = report.outages_of(TaskIndex(2));
@@ -1156,7 +1173,7 @@ fn replica_death_after_takeover_opens_second_outage() {
     assert!(first.via_replica);
     assert_eq!(first.failed_at, SimTime::from_secs(14));
     assert_eq!(first.detected_at, SimTime::from_secs(15));
-    let first_latency = first.latency().expect("first outage recovered");
+    let first_latency = first.latency().ok_or("first outage recovered")?;
     // Second outage: the activated replica died — checkpoint fallback.
     assert!(
         !second.via_replica,
@@ -1164,7 +1181,7 @@ fn replica_death_after_takeover_opens_second_outage() {
     );
     assert_eq!(second.failed_at, SimTime::from_secs(31));
     assert_eq!(second.detected_at, SimTime::from_secs(35));
-    let second_latency = second.latency().expect("second outage recovered");
+    let second_latency = second.latency().ok_or("second outage recovered")?;
     assert_ne!(
         first_latency, second_latency,
         "each outage carries its own recovery latency"
@@ -1177,14 +1194,14 @@ fn replica_death_after_takeover_opens_second_outage() {
     // Per-record ordering invariant.
     for rec in outages {
         assert!(rec.failed_at <= rec.detected_at);
-        assert!(rec.recovered_at.unwrap() >= rec.detected_at);
+        assert!(rec.recovered_at.ok_or("outage recovered")? >= rec.detected_at);
     }
     // The backward-compatible view exposes exactly the FIRST outage.
     let r = report
         .recoveries
         .iter()
         .find(|r| r.task == TaskIndex(2))
-        .unwrap();
+        .ok_or("task 2 recovery record")?;
     assert_eq!(r.detected_at, first.detected_at);
     assert_eq!(r.recovered_at, first.recovered_at);
     assert!(r.via_replica);
@@ -1192,7 +1209,7 @@ fn replica_death_after_takeover_opens_second_outage() {
     // During the second outage the sink keeps producing degraded output:
     // half the volume (mid 2 lost again), flagged tentative — the lost
     // share is honestly missing, not papered over by a stalled sink.
-    let second_recovered = second.recovered_at.unwrap();
+    let second_recovered = second.recovered_at.ok_or("second outage recovered")?;
     let tentative: Vec<_> = report
         .sink
         .iter()
@@ -1204,27 +1221,30 @@ fn replica_death_after_takeover_opens_second_outage() {
     );
     assert!(tentative.iter().all(|s| s.tuples.len() == 100));
     assert_eq!(
-        report.first_tentative_after(second.detected_at).unwrap(),
+        report
+            .first_tentative_after(second.detected_at)
+            .ok_or("tentative output after re-detection")?,
         tentative[0].at
     );
     assert!(tentative[0].at < second_recovered);
+    Ok(())
 }
 
 #[test]
-fn refailed_task_recovers_via_reestablished_replica() {
+fn refailed_task_recovers_via_reestablished_replica() -> TestResult {
     // The control-plane variant of the second recovery: passive recovery
     // held down, so a re-failed task comes back only if the policy
     // re-homes its dead standby and re-establishes the replica.
-    let q = chain_query(100, 5);
+    let q = chain_query(100, 5)?;
     // Every node is its own rack, so the policy reacts to exactly the
     // failed node's domain.
-    let placed = || {
-        one_task_per_node(&q)
-            .with_fault_domains(ppa_faults::FaultDomainTree::racks(
+    let placed = || -> Result<Placement, Box<dyn Error>> {
+        Ok(
+            one_task_per_node(&q)?.with_fault_domains(ppa_faults::FaultDomainTree::racks(
                 &(0..10).collect::<Vec<_>>(),
                 1,
-            ))
-            .expect("tree covers the cluster")
+            ))?,
+        )
     };
     let config = || {
         let mut c = base_config(FtMode::Ppa {
@@ -1248,10 +1268,8 @@ fn refailed_task_recovers_via_reestablished_replica() {
     let until = SimTime::from_secs(90);
 
     // Static: the second outage stays open — honest, not papered over.
-    let mut static_sim = Simulation::new(&q, placed(), config());
-    let static_run = static_sim
-        .drive(&feed(), &mut crate::control::StaticPolicy, until)
-        .unwrap();
+    let mut static_sim = Simulation::new(&q, placed()?, config());
+    let static_run = static_sim.drive(&feed(), &mut crate::control::StaticPolicy, until)?;
     let outages = static_run.report.outages_of(TaskIndex(2));
     assert_eq!(outages.len(), 2, "{outages:?}");
     assert!(outages[0].via_replica && !outages[0].open());
@@ -1267,10 +1285,10 @@ fn refailed_task_recovers_via_reestablished_replica() {
 
     // Domain-health: re-home the dead standby, re-establish the replica,
     // close the second outage via a late takeover.
-    let mut adaptive_sim = Simulation::new(&q, placed(), config());
+    let mut adaptive_sim = Simulation::new(&q, placed()?, config());
     let mut policy = crate::control::DomainHealthPolicy::new(Some(5));
     policy.migrate_radius = 0;
-    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until).unwrap();
+    let adaptive_run = adaptive_sim.drive(&feed(), &mut policy, until)?;
     let outages = adaptive_run.report.outages_of(TaskIndex(2));
     assert_eq!(outages.len(), 2, "{outages:?}");
     let second = &outages[1];
@@ -1285,25 +1303,24 @@ fn refailed_task_recovers_via_reestablished_replica() {
         adaptive_sim.lifecycles()[2],
         crate::report::Lifecycle::Recovered
     );
+    Ok(())
 }
 
 #[test]
-fn inject_rejects_nodes_already_dead() {
+fn inject_rejects_nodes_already_dead() -> TestResult {
     // After an activated replica dies on node 7, injecting another
     // failure naming node 7 used to short-circuit silently at fire time;
     // it now surfaces the typed error at injection time.
-    let q = chain_query(50, 5);
-    let mut sim = Simulation::new(&q, one_task_per_node(&q), base_config(FtMode::active(5)));
+    let q = chain_query(50, 5)?;
+    let mut sim = Simulation::new(&q, one_task_per_node(&q)?, base_config(FtMode::active(5)));
     sim.inject(FailureSpec {
         at: SimTime::from_secs(10),
         nodes: vec![node_of(2)],
-    })
-    .unwrap();
+    })?;
     sim.inject(FailureSpec {
         at: SimTime::from_secs(20),
         nodes: vec![7],
-    })
-    .unwrap();
+    })?;
     let _ = sim.run_until(SimTime::from_secs(30));
     assert_eq!(
         sim.inject(FailureSpec {
@@ -1327,18 +1344,18 @@ fn inject_rejects_nodes_already_dead() {
     sim.inject(FailureSpec {
         at: SimTime::from_secs(40),
         nodes: vec![8],
-    })
-    .unwrap();
+    })?;
+    Ok(())
 }
 
 #[test]
-fn dead_replica_falls_back_to_checkpoint_recovery() {
+fn dead_replica_falls_back_to_checkpoint_recovery() -> TestResult {
     // Kill the primary's node AND its replica's standby node: recovery must
     // fall back to the passive path and still complete.
-    let q = chain_query(100, 10);
+    let q = chain_query(100, 10)?;
     let report = Simulation::run(
         &q,
-        one_task_per_node(&q),
+        one_task_per_node(&q)?,
         base_config(FtMode::Ppa {
             plan: TaskSet::full(5),
             checkpoint_interval: Some(SimDuration::from_secs(5)),
@@ -1355,4 +1372,5 @@ fn dead_replica_falls_back_to_checkpoint_recovery() {
     assert_eq!(r.task, TaskIndex(2));
     assert!(!r.via_replica, "replica died with its node");
     assert!(r.recovered_at.is_some(), "checkpoint fallback must recover");
+    Ok(())
 }

@@ -79,11 +79,12 @@ pub fn registry() -> Vec<Rule> {
 }
 
 /// The crates whose behaviour must be bit-reproducible.
-const DETERMINISTIC_CRATES: [&str; 5] = [
+const DETERMINISTIC_CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/sim/src/",
     "crates/faults/src/",
     "crates/engine/src/",
+    "crates/obs/src/",
     "crates/workloads/src/",
 ];
 

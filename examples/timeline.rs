@@ -1,0 +1,202 @@
+//! The `refail_sweep` scenario as two side-by-side run timelines: the
+//! same two-wave cascade (wave 1 kills a worker rack, wave 2 kills the
+//! standby rack hosting the activated replicas) replayed under the
+//! static policy and under `DomainHealthPolicy`, rendered from each
+//! run's recorded trace-event stream.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+//!
+//! Row legend: `.` healthy, `x` outage before detection, `X` outage
+//! after detection, `|` the recovery instant; `v` marks an injected
+//! failure wave. Only tasks that fail at least once get a row.
+
+use ppa::core::{Planner, StructureAwarePlanner, TaskSet};
+use ppa::engine::{
+    Cluster, DomainHealthPolicy, DriveReport, EngineEvent, FailureTrace, FaultFeed, FtMode,
+    RoundRobin, Simulation, TraceSink,
+};
+use ppa::faults::{CascadeProcess, FailureProcess};
+use ppa::obs::{render_timeline, TimelineConfig};
+use ppa::sim::{SimDuration, SimTime};
+use ppa::workloads::{fig6_scenario, Fig6Config, Scenario};
+use std::sync::{Arc, Mutex};
+
+/// The `refail_sweep` cluster: 12 workers + 12 standbys, racks of 4.
+const N_WORKERS: usize = 12;
+const N_STANDBY: usize = 12;
+const RACK_SIZE: usize = 4;
+/// Wave schedule (quick-mode `refail_sweep` numbers): wave 1 after the
+/// window fills, wave 2 past detection and takeover, so it kills
+/// *activated* replicas.
+const WAVE1_SECS: u64 = 40;
+const WAVE_GAP_SECS: u64 = 30;
+const DURATION_SECS: u64 = 130;
+/// Cascade spread probability shared by both waves.
+const SPREAD: f64 = 0.9;
+
+/// A [`TraceSink`] buffering into shared storage, so the events stay
+/// readable after the simulation consumed the boxed sink.
+struct SharedSink(Arc<Mutex<Vec<(SimTime, EngineEvent)>>>);
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, at: SimTime, event: &EngineEvent) {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .push((at, event.clone()));
+    }
+}
+
+/// The two-wave trace: wave 1 cascades from the first worker rack, wave
+/// 2 from the first standby rack (the rack `RoundRobin` aligns with the
+/// first worker rack's standbys). Policy-independent, so both runs
+/// replay identical node deaths.
+fn two_wave_trace(cluster: &Cluster, seed: u64) -> FailureTrace {
+    let tree = cluster.domains.as_ref().expect("racked cluster has a tree");
+    let wave = |origin: usize, start_secs: u64, salt: u64| {
+        let process = CascadeProcess {
+            level: 1,
+            spread: SPREAD,
+            decay: 0.5,
+            hop_delay: SimDuration::from_secs(2),
+            fraction: 1.0,
+            origin: Some(origin),
+        };
+        process.generate_seeded(
+            tree,
+            SimTime::from_secs(start_secs),
+            SimDuration::from_secs(20),
+            seed ^ salt,
+        )
+    };
+    let mut trace = wave(0, WAVE1_SECS, 0x2ef1);
+    for e in wave(N_WORKERS / RACK_SIZE, WAVE1_SECS + WAVE_GAP_SECS, 0x2ef2).events() {
+        trace.push(e.at, e.nodes.clone());
+    }
+    trace
+}
+
+/// Drives one policy's run with a trace sink attached and returns the
+/// recorded event stream next to the control-plane report.
+fn drive(scenario: &Scenario, trace: &FailureTrace) -> (Vec<(SimTime, EngineEvent)>, DriveReport) {
+    let n = scenario.graph().n_tasks();
+    let cx = scenario
+        .placement
+        .plan_context(scenario.query.topology())
+        .expect("fig6 plans against its racked cluster");
+    let plan: TaskSet = StructureAwarePlanner::default()
+        .plan(&cx, n / 2)
+        .expect("SA plan")
+        .tasks;
+    let mut config = ppa::engine::EngineConfig {
+        mode: FtMode::ppa(plan, SimDuration::from_secs(5)),
+        ..ppa::engine::EngineConfig::default()
+    };
+    // Steady-state tentative sampling: a re-failed task comes back only
+    // through the control plane.
+    config.passive_recovery = false;
+
+    let mut sim = Simulation::new(&scenario.query, scenario.placement.clone(), config);
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    sim.set_trace_sink(Box::new(SharedSink(Arc::clone(&buffer))));
+    let mut policy = scenario.make_policy();
+    let report = sim
+        .drive(
+            &FaultFeed::from_trace(trace.clone()),
+            policy.as_mut(),
+            SimTime::ZERO + SimDuration::from_secs(DURATION_SECS),
+        )
+        .expect("trace names nodes of the racked cluster");
+    let events = std::mem::take(&mut *buffer.lock().expect("trace buffer poisoned"));
+    (events, report)
+}
+
+/// Joins two multi-line blocks into two columns separated by `gap`.
+fn side_by_side(left: &str, right: &str, gap: &str) -> String {
+    let l: Vec<&str> = left.lines().collect();
+    let r: Vec<&str> = right.lines().collect();
+    let width = l.iter().map(|s| s.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for i in 0..l.len().max(r.len()) {
+        let lv = l.get(i).copied().unwrap_or("");
+        let rv = r.get(i).copied().unwrap_or("");
+        let line = format!("{lv:<width$}{gap}{rv}");
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let cfg = Fig6Config {
+        rate: 300,
+        window: SimDuration::from_secs(10),
+        ..Fig6Config::default()
+    };
+    let cluster = Cluster::racked(N_WORKERS, N_STANDBY, RACK_SIZE).expect("positive rack size");
+    let trace = two_wave_trace(&cluster, cfg.seed);
+    let scenario = || -> Scenario {
+        fig6_scenario(&cfg)
+            .placed_with(&RoundRobin, &cluster)
+            .expect("fig6 fits the sweep cluster")
+    };
+
+    let base = scenario();
+    let budget = base.graph().n_tasks() / 2;
+    let adaptive = scenario().with_policy(move || Box::new(DomainHealthPolicy::new(Some(budget))));
+
+    let (static_events, static_run) = drive(&base, &trace);
+    let (adaptive_events, adaptive_run) = drive(&adaptive, &trace);
+
+    let chart = |title: &str, events: &[(SimTime, EngineEvent)]| -> String {
+        render_timeline(
+            events,
+            &TimelineConfig {
+                title: title.to_string(),
+                width: 48,
+                until: Some(SimTime::from_secs(DURATION_SECS)),
+            },
+        )
+    };
+    println!(
+        "Two cascade waves (spread {SPREAD}), {} nodes killed: wave 1 at {WAVE1_SECS}s hits \
+         the first worker rack, wave 2 at {}s hits the standby rack hosting the activated \
+         replicas. Passive recovery is held down, so only the control plane can close a \
+         second outage.\n",
+        trace.killed_nodes().len(),
+        WAVE1_SECS + WAVE_GAP_SECS,
+    );
+    print!(
+        "{}",
+        side_by_side(
+            &chart("static policy", &static_events),
+            &chart("domain-health policy", &adaptive_events),
+            "   ",
+        )
+    );
+
+    let refail_tally = |run: &DriveReport| -> (usize, usize) {
+        let refailed: Vec<_> = run
+            .report
+            .outages
+            .iter()
+            .filter(|o| o.records.len() >= 2)
+            .collect();
+        let closed = refailed
+            .iter()
+            .filter(|o| o.records.last().is_some_and(|r| r.recovered_at.is_some()))
+            .count();
+        (refailed.len(), closed)
+    };
+    println!();
+    for (name, run) in [("static", &static_run), ("domain-health", &adaptive_run)] {
+        let (refails, closed) = refail_tally(run);
+        println!(
+            "{name:>15}: {refails} second outages opened, {closed} closed within the run \
+             ({} control action(s))",
+            run.actions.len(),
+        );
+    }
+}

@@ -12,10 +12,16 @@
 //!   recovery and tentative outputs (§V).
 //! * [`workloads`] — the evaluation workloads: the synthetic Fig. 6 query,
 //!   Q1 (top-k over access logs) and Q2 (traffic incident detection).
+//! * [`faults`] — fault-domain trees, failure traces and generative
+//!   failure processes.
+//! * [`obs`] — deterministic observability: typed trace events, the
+//!   metrics registry, and the JSONL / Chrome-trace / timeline exporters.
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable programs.
 
 pub use ppa_core as core;
 pub use ppa_engine as engine;
+pub use ppa_faults as faults;
+pub use ppa_obs as obs;
 pub use ppa_sim as sim;
 pub use ppa_workloads as workloads;

@@ -207,6 +207,42 @@ fn drive_matches_run_trace_on_a_generated_cascade() {
     assert_eq!(digest(&legacy), digest(&wrapped));
 }
 
+/// Random multi-wave kill trace over a scenario: waves re-kill nodes of
+/// earlier waves and aim at the standby nodes hosting activated replicas
+/// — the re-failure path under test. Deterministic in `(waves, seed)`.
+fn multi_wave_failures(s: &ppa::workloads::Scenario, waves: usize, seed: u64) -> Vec<FailureSpec> {
+    let mut rng = StdRng::seed_from_u64(0x007a_6e00 ^ ((waves as u64) << 32) ^ seed);
+    // Kill pool: the worker nodes plus every standby node hosting a
+    // replica — the nodes whose death causes re-failures.
+    let mut pool = s.worker_kill_set.clone();
+    pool.extend(s.placement.standby.iter().copied());
+    pool.sort_unstable();
+    pool.dedup();
+    let mut failures: Vec<FailureSpec> = Vec::new();
+    let mut at = 20u64;
+    for w in 0..waves {
+        at += rng.gen_range(5..20u64);
+        let k = rng.gen_range(1..5usize);
+        let mut nodes: Vec<usize> = (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        if w > 0 {
+            // Explicit repeat kill of an earlier wave's node.
+            nodes.push(failures[w - 1].nodes[0]);
+            // And aim at the standby hosting the activated replica of a
+            // first-wave victim.
+            if let Some(&victim) = s.placement.tasks_on(failures[0].nodes[0]).first() {
+                nodes.push(s.placement.standby[victim.0]);
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        failures.push(FailureSpec {
+            at: SimTime::from_secs(at),
+            nodes,
+        });
+    }
+    failures
+}
+
 #[test]
 fn outage_histories_are_consistent_under_repeat_kills() {
     // Deterministic grid standing in for a proptest strategy: random
@@ -225,40 +261,9 @@ fn outage_histories_are_consistent_under_repeat_kills() {
     let mut total_refails = 0usize;
     for waves in [1usize, 3] {
         for seed in 0..6u64 {
-            let mut rng = StdRng::seed_from_u64(0x007a_6e00 ^ ((waves as u64) << 32) ^ seed);
             let s = fig6_scenario(&quick_fig6());
             let n = s.graph().n_tasks();
-            // Kill pool: the worker nodes plus every standby node hosting
-            // a replica — the nodes whose death causes re-failures.
-            let mut pool = s.worker_kill_set.clone();
-            pool.extend(s.placement.standby.iter().copied());
-            pool.sort_unstable();
-            pool.dedup();
-            let mut failures = Vec::new();
-            let mut at = 20u64;
-            for w in 0..waves {
-                at += rng.gen_range(5..20u64);
-                let k = rng.gen_range(1..5usize);
-                let mut nodes: Vec<usize> =
-                    (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
-                if w > 0 {
-                    // Explicit repeat kill of an earlier wave's node.
-                    let prev: &ppa::engine::FailureSpec = &failures[w - 1];
-                    nodes.push(prev.nodes[0]);
-                    // And aim at the standby hosting the activated
-                    // replica of a first-wave victim — the re-failure
-                    // path under test.
-                    if let Some(&victim) = s.placement.tasks_on(failures[0].nodes[0]).first() {
-                        nodes.push(s.placement.standby[victim.0]);
-                    }
-                }
-                nodes.sort_unstable();
-                nodes.dedup();
-                failures.push(FailureSpec {
-                    at: SimTime::from_secs(at),
-                    nodes,
-                });
-            }
+            let failures = multi_wave_failures(&s, waves, seed);
             let config = EngineConfig {
                 mode: FtMode::ppa(TaskSet::full(n), SimDuration::from_secs(5)),
                 ..EngineConfig::default()
@@ -314,6 +319,118 @@ fn outage_histories_are_consistent_under_repeat_kills() {
                         );
                     }
                 }
+                total_refails += history.refail_count();
+            }
+        }
+    }
+    assert!(
+        total_refails > 0,
+        "the grid must actually exercise re-failures"
+    );
+}
+
+#[test]
+fn trace_events_agree_with_outage_histories() {
+    // The structured event stream must be consistent with the report's
+    // outage accounting, over the same random multi-wave grid as above.
+    // Per OutageRecord: one OutageOpened with the right refail flag, a
+    // matching OutageDetected at detected_at, and exactly one closing
+    // event whose variant (ReplicaActivated / RestoreDone) matches
+    // via_replica.
+    use ppa::engine::{EngineEvent, TraceSink};
+    use std::sync::{Arc, Mutex};
+
+    struct SharedSink(Arc<Mutex<Vec<(SimTime, EngineEvent)>>>);
+    impl TraceSink for SharedSink {
+        fn record(&mut self, at: SimTime, event: &EngineEvent) {
+            self.0
+                .lock()
+                .expect("sink buffer")
+                .push((at, event.clone()));
+        }
+    }
+
+    let mut total_refails = 0usize;
+    for waves in [1usize, 3] {
+        for seed in 0..6u64 {
+            let s = fig6_scenario(&quick_fig6());
+            let n = s.graph().n_tasks();
+            let failures = multi_wave_failures(&s, waves, seed);
+            let config = EngineConfig {
+                mode: FtMode::ppa(TaskSet::full(n), SimDuration::from_secs(5)),
+                ..EngineConfig::default()
+            };
+            let mut sim = Simulation::new(&s.query, s.placement.clone(), config);
+            let buffer = Arc::new(Mutex::new(Vec::new()));
+            sim.set_trace_sink(Box::new(SharedSink(Arc::clone(&buffer))));
+            for f in failures.clone() {
+                sim.inject(f).expect("kill sets name live cluster nodes");
+            }
+            let report = sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+            let events = buffer.lock().expect("sink buffer").clone();
+            let label = format!("waves {waves} seed {seed} failures {failures:?}");
+
+            for history in &report.outages {
+                let t = history.task.0;
+                // One OutageOpened per record, refail-flagged after the
+                // first (emission order matches record order).
+                let opened: Vec<bool> = events
+                    .iter()
+                    .filter_map(|(_, e)| match e {
+                        EngineEvent::OutageOpened { task, refail } if *task == t => Some(*refail),
+                        _ => None,
+                    })
+                    .collect();
+                let expect: Vec<bool> = (0..history.records.len()).map(|i| i > 0).collect();
+                assert_eq!(opened, expect, "{label}: opened events for task {t}");
+
+                for rec in &history.records {
+                    if rec.detected() {
+                        assert!(
+                            events.iter().any(|(at, e)| {
+                                *at == rec.detected_at
+                                    && matches!(
+                                        e,
+                                        EngineEvent::OutageDetected { task } if *task == t
+                                    )
+                            }),
+                            "{label}: no OutageDetected at {} for task {t}",
+                            rec.detected_at
+                        );
+                    }
+                    if let Some(recovered) = rec.recovered_at {
+                        let closes: Vec<&EngineEvent> = events
+                            .iter()
+                            .filter(|(at, e)| {
+                                *at == recovered && e.closes_outage() && e.task() == Some(t)
+                            })
+                            .map(|(_, e)| e)
+                            .collect();
+                        assert_eq!(
+                            closes.len(),
+                            1,
+                            "{label}: exactly one closing event at {recovered} for task {t}: \
+                             {closes:?}"
+                        );
+                        let via_replica = matches!(closes[0], EngineEvent::ReplicaActivated { .. });
+                        assert_eq!(
+                            via_replica, rec.via_replica,
+                            "{label}: closing variant for task {t}"
+                        );
+                    }
+                }
+                // Globally: one closing event per recovered record, none
+                // for still-open outages.
+                let recovered = history
+                    .records
+                    .iter()
+                    .filter(|r| r.recovered_at.is_some())
+                    .count();
+                let closes = events
+                    .iter()
+                    .filter(|(_, e)| e.closes_outage() && e.task() == Some(t))
+                    .count();
+                assert_eq!(closes, recovered, "{label}: total closes for task {t}");
                 total_refails += history.refail_count();
             }
         }
