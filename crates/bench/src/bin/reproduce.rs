@@ -3,25 +3,28 @@
 //! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--json PATH] [--trace-dir DIR] [--list]
-//!           [--filter SUBSTR]
+//! reproduce [--quick] [--jobs N] [--shards N] [--json PATH]
+//!           [--trace-dir DIR] [--list] [--filter SUBSTR]
 //!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep
-//!            placement_sweep adaptive_sweep | all]
+//!            placement_sweep adaptive_sweep refail_sweep scale_sweep | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
 //! default = available parallelism); stdout is byte-identical for any job
-//! count — timings never touch it. `--trace-dir` additionally records
-//! every driven run's engine-event stream under `DIR/<experiment>/` as
-//! JSONL + Chrome `trace_event` files, themselves byte-identical for any
-//! job count.
+//! count — timings never touch it. `--shards` additionally shards every
+//! driven run's event loop internally (`EngineConfig::shards`); output is
+//! byte-identical for any shard count too. `--trace-dir` records every
+//! driven run's engine-event stream under `DIR/<experiment>/` as JSONL +
+//! Chrome `trace_event` files, themselves byte-identical for any job or
+//! shard count.
 
 use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--json PATH] \
-     [--trace-dir DIR] [--list] [--filter SUBSTR] [EXPERIMENT.. | all]";
+const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--shards N] \
+     [--json PATH] [--trace-dir DIR] [--list] [--filter SUBSTR] \
+     [EXPERIMENT.. | all]";
 
 fn main() -> ExitCode {
     let mut opts = RunOptions {
@@ -44,6 +47,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 opts.jobs = n;
+            }
+            "--shards" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--shards needs a positive integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("--shards must be at least 1\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                opts.shards = Some(n);
             }
             "--json" => {
                 let Some(p) = args.next() else {

@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod placement_sweep;
 pub mod refail_sweep;
+pub mod scale_sweep;
 pub mod tentative;
 
 use crate::runner::{RunCtx, RunLog, TraceLog};
@@ -174,6 +175,11 @@ pub fn drive_scenario_config(
     trace: &FailureTrace,
     duration_secs: u64,
 ) -> ppa_engine::DriveReport {
+    let mut config = config;
+    if let Some(shards) = ctx.shards {
+        // The harness-wide override; byte-identical output at any value.
+        config.shards = shards;
+    }
     let mut sim = Simulation::new(&scenario.query, scenario.placement.clone(), config);
     let buffer = ctx.tracing().then(|| {
         let buffer = Arc::new(Mutex::new(Vec::new()));

@@ -146,6 +146,13 @@ pub fn registry() -> Vec<Experiment> {
             section: "beyond §VI",
             run: experiments::refail_sweep::run,
         },
+        Experiment {
+            id: "scale_sweep",
+            description:
+                "Event-loop throughput at scale: shard count × cluster size, deterministic outputs",
+            section: "beyond §VI",
+            run: experiments::scale_sweep::run,
+        },
     ]
 }
 
@@ -167,6 +174,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"refail_sweep"));
+        assert_eq!(ids.last(), Some(&"scale_sweep"));
     }
 }

@@ -94,6 +94,7 @@ mod tests {
                     fail_at_s: 40,
                     kill_nodes: vec![4, 5],
                     events: 123,
+                    tuples_moved: 4567,
                     outages: 2,
                     refails: 1,
                     outages_recovered: 1,

@@ -38,6 +38,11 @@ pub struct RunOptions {
     /// `<trace_dir>/<experiment id>/` as a JSONL trace plus a Chrome
     /// `trace_event` file. Trace files are byte-identical for any `jobs`.
     pub trace_dir: Option<PathBuf>,
+    /// Override the engine's intra-run shard count for every driven run
+    /// (`EngineConfig::shards`). `None` keeps each scenario's own
+    /// setting. Any value yields byte-identical output — this knob only
+    /// trades wall-clock time, like `jobs`.
+    pub shards: Option<usize>,
 }
 
 impl RunOptions {
@@ -74,6 +79,9 @@ pub struct RunLog {
     pub recoveries: Vec<RecoveryRecord>,
     /// Events the simulation processed (a determinism fingerprint).
     pub events: u64,
+    /// Tuples the engine scheduled for delivery, replica copies included
+    /// (deterministic, so part of the compared payload).
+    pub tuples_moved: u64,
     /// Outage records across all tasks (first failures + re-failures).
     pub outages: usize,
     /// Outage records beyond each task's first (re-failures).
@@ -111,6 +119,7 @@ impl RunLog {
                 })
                 .collect(),
             events: report.events,
+            tuples_moved: report.tuples_moved,
             outages: report.outages.iter().map(|o| o.records.len()).sum(),
             refails: report.refail_count(),
             outages_recovered: report
@@ -148,6 +157,7 @@ impl RunLog {
                 ),
             ),
             ("events", Json::Int(self.events as i64)),
+            ("tuples_moved", Json::Int(self.tuples_moved as i64)),
             ("outages", Json::Int(self.outages as i64)),
             ("refails", Json::Int(self.refails as i64)),
             (
@@ -173,13 +183,26 @@ impl RunLog {
         ])
     }
 
-    /// [`RunLog::to_json`] plus the run's wall-clock timing. Only the
-    /// JSON report uses this — the `--jobs` determinism tests compare
-    /// `to_json`, which deliberately excludes timings.
+    /// [`RunLog::to_json`] plus the run's wall-clock timing and derived
+    /// throughput rates. Only the JSON report uses this — the `--jobs`
+    /// determinism tests compare `to_json`, which deliberately excludes
+    /// everything wall-clock-derived.
     pub fn to_json_timed(&self) -> Json {
         match self.to_json() {
             Json::Obj(mut fields) => {
                 fields.push(("wall_s".to_string(), Json::Num(self.wall_s)));
+                let rate = |n: u64| {
+                    if self.wall_s > 0.0 {
+                        n as f64 / self.wall_s
+                    } else {
+                        0.0
+                    }
+                };
+                fields.push(("events_per_sec".to_string(), Json::Num(rate(self.events))));
+                fields.push((
+                    "tuples_per_sec".to_string(),
+                    Json::Num(rate(self.tuples_moved)),
+                ));
                 Json::Obj(fields)
             }
             other => other,
@@ -214,6 +237,9 @@ impl TraceLog {
 pub struct RunCtx {
     /// CI scale instead of paper scale.
     pub quick: bool,
+    /// Engine shard-count override for driven runs (see
+    /// [`RunOptions::shards`]).
+    pub shards: Option<usize>,
     gate: Arc<Gate>,
     logs: Mutex<Vec<RunLog>>,
     /// Where this experiment's trace files land; `None` = tracing off.
@@ -225,11 +251,18 @@ impl RunCtx {
     pub fn new(quick: bool, gate: Arc<Gate>) -> Self {
         RunCtx {
             quick,
+            shards: None,
             gate,
             logs: Mutex::new(Vec::new()),
             trace_dir: None,
             traces: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Sets the engine shard-count override for driven runs.
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// A context with a private single-permit gate — serial execution, for
@@ -438,11 +471,14 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
                 let quick = opts.quick;
                 let progress = opts.progress;
                 let trace_dir = opts.trace_dir.as_ref().map(|d| d.join(e.id));
+                let shards = opts.shards;
                 scope.spawn(move || {
                     if progress {
                         eprintln!(">> running {}: {}", e.id, e.description);
                     }
-                    let ctx = RunCtx::new(quick, gate).with_trace_dir(trace_dir);
+                    let ctx = RunCtx::new(quick, gate)
+                        .with_trace_dir(trace_dir)
+                        .with_shards(shards);
                     let start = Stopwatch::start();
                     let figures = (e.run)(&ctx);
                     let traced = ctx
@@ -546,7 +582,8 @@ mod tests {
                 "corr_sweep",
                 "placement_sweep",
                 "adaptive_sweep",
-                "refail_sweep"
+                "refail_sweep",
+                "scale_sweep"
             ],
             "registry order preserved"
         );
@@ -575,6 +612,7 @@ mod tests {
             kill_nodes: vec![4],
             recoveries: vec![],
             events: 0,
+            tuples_moved: 0,
             outages: 0,
             refails: 0,
             outages_recovered: 0,

@@ -56,6 +56,7 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "placement_sweep",
         "adaptive_sweep",
         "refail_sweep",
+        "scale_sweep",
     ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
         assert!(

@@ -1,0 +1,138 @@
+//! Shard-count determinism: every observable harness output — the
+//! rendered markdown report, the deterministic run-log payloads, the
+//! recorded engine-event traces — must be byte-identical whether the
+//! engine runs its legacy single-threaded event loop (`shards = 1`) or
+//! the sharded lanes (`shards = 4, 8`). This is the cross-shard mirror
+//! of the `--jobs` determinism tests in `harness.rs` /
+//! `trace_determinism.rs`.
+
+use ppa_bench::experiments::scale_sweep::{self, ScaleSpec};
+use ppa_bench::{render_markdown, run_experiments, RunOptions};
+use ppa_engine::{FailureTrace, FaultFeed, Simulation, StaticPolicy};
+use ppa_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The experiments the suite replays per shard count: `refail_sweep`
+/// exercises failures, replica takeover, catch-up and control policies;
+/// `scale_sweep` exercises wide failure-free spans (and itself varies
+/// `EngineConfig::shards` per cell).
+const IDS: [&str; 2] = ["refail_sweep", "scale_sweep"];
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ppa_shard_determinism_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One full harness pass at a shard count: rendered markdown, the
+/// deterministic JSON payload of every logged run, and all trace files.
+fn observe(shards: usize, dir: &Path) -> (String, String, BTreeMap<String, String>) {
+    let summary = run_experiments(&RunOptions {
+        quick: true,
+        jobs: 2,
+        shards: Some(shards),
+        only: IDS.iter().map(|s| s.to_string()).collect(),
+        trace_dir: Some(dir.to_path_buf()),
+        ..RunOptions::default()
+    });
+    assert_eq!(summary.results.len(), IDS.len(), "both experiments ran");
+    let mut runs = String::new();
+    for result in &summary.results {
+        for log in &result.runs {
+            runs.push_str(&log.to_json().to_pretty());
+        }
+    }
+    let mut traces = BTreeMap::new();
+    for id in IDS {
+        let sub = dir.join(id);
+        if !sub.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&sub).expect("trace dir exists") {
+            let entry = entry.expect("readable entry");
+            let name = format!("{id}/{}", entry.file_name().to_string_lossy());
+            let body = std::fs::read_to_string(entry.path()).expect("readable trace");
+            traces.insert(name, body);
+        }
+    }
+    assert!(!traces.is_empty(), "shards={shards} recorded no traces");
+    (render_markdown(&summary), runs, traces)
+}
+
+#[test]
+fn all_outputs_identical_across_shard_counts() {
+    let base_dir = scratch_dir("s1");
+    let (base_md, base_runs, base_traces) = observe(1, &base_dir);
+    assert!(
+        base_md.contains("scale_sweep"),
+        "baseline report mentions the sweep"
+    );
+    for shards in [4, 8] {
+        let dir = scratch_dir(&format!("s{shards}"));
+        let (md, runs, traces) = observe(shards, &dir);
+        assert_eq!(base_md, md, "markdown diverged at shards={shards}");
+        assert_eq!(base_runs, runs, "run logs diverged at shards={shards}");
+        assert_eq!(
+            base_traces.keys().collect::<Vec<_>>(),
+            traces.keys().collect::<Vec<_>>(),
+            "trace file set diverged at shards={shards}"
+        );
+        for (name, body) in &base_traces {
+            assert_eq!(
+                body, &traces[name],
+                "trace {name} diverged at shards={shards}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+/// The throughput counters flushed into `DriveReport::metrics` must agree
+/// exactly with the report's own deterministic totals, at 1 and N shards.
+#[test]
+fn throughput_metrics_match_report_totals() {
+    for shards in [1, 4] {
+        let (scenario, _strategy, config) = scale_sweep::build(&ScaleSpec {
+            workers: 12,
+            standby: 2,
+            width: 12,
+            rate: 50,
+            duration_secs: 6,
+            shards,
+        });
+        let mut sim = Simulation::new(&scenario.query, scenario.placement.clone(), config);
+        let driven = sim
+            .drive(
+                &FaultFeed::from_trace(FailureTrace::new()),
+                &mut StaticPolicy,
+                SimTime::ZERO + SimDuration::from_secs(6),
+            )
+            .expect("failure-free drive succeeds");
+        let counter = |name: &str| -> u64 {
+            driven
+                .metrics
+                .counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("shards={shards}: metric {name} missing"))
+        };
+        assert!(driven.report.events > 0, "the run processed events");
+        assert!(driven.report.tuples_moved > 0, "the run moved tuples");
+        assert_eq!(
+            counter("engine.events.processed"),
+            driven.report.events,
+            "shards={shards}"
+        );
+        assert_eq!(
+            counter("engine.tuples.moved"),
+            driven.report.tuples_moved,
+            "shards={shards}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The sharded event loop's performance gate: on a wide homogeneous
+//! cluster (the `scale_sweep` workload at paper scale), `shards = 4`
+//! must finish a single run at least 2x faster than `shards = 1`.
+//!
+//! The gate only measures where the measurement is meaningful: release
+//! builds (debug codegen distorts the UDF/scheduler ratio the claim is
+//! about) on hosts with ≥ 4 usable cores (with fewer, the lanes
+//! time-slice one core and no wall-clock win is possible). Anywhere
+//! else it skips loudly instead of asserting noise.
+
+use ppa_bench::experiments::scale_sweep::{build, ScaleSpec};
+use ppa_bench::stopwatch::Stopwatch;
+use ppa_engine::{FailureTrace, Simulation};
+use ppa_sim::SimDuration;
+use std::time::Duration;
+
+const DURATION_SECS: u64 = 30;
+
+/// One timed run; returns (best wall over `reps`, events processed).
+fn best_wall(spec: &ScaleSpec, reps: usize) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut events = 0;
+    for _ in 0..reps {
+        let (scenario, _strategy, config) = build(spec);
+        let watch = Stopwatch::start();
+        let report = Simulation::run_trace(
+            &scenario.query,
+            scenario.placement.clone(),
+            config,
+            &FailureTrace::new(),
+            SimDuration::from_secs(DURATION_SECS),
+        );
+        best = best.min(watch.elapsed());
+        events = report.events;
+    }
+    (best, events)
+}
+
+#[test]
+fn four_shards_halve_wall_clock_on_a_wide_cluster() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping throughput gate: debug build (run with --release)");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping throughput gate: {cores} core(s) < 4");
+        return;
+    }
+    // Paper-scale width with a heavy per-batch tuple load, so per-span
+    // UDF work dominates the sequential merge/apply section.
+    let spec = |shards: usize| ScaleSpec {
+        workers: 96,
+        standby: 12,
+        width: 96,
+        rate: 800,
+        duration_secs: DURATION_SECS,
+        shards,
+    };
+    let (sequential, seq_events) = best_wall(&spec(1), 3);
+    let (sharded, shard_events) = best_wall(&spec(4), 3);
+    assert_eq!(
+        seq_events, shard_events,
+        "shard count changed the deterministic event total"
+    );
+    let speedup = sequential.as_secs_f64() / sharded.as_secs_f64();
+    eprintln!(
+        "throughput gate: shards=1 {sequential:?}, shards=4 {sharded:?}, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "shards=4 must be >= 2x faster than shards=1 on {cores} cores: \
+         {sequential:?} vs {sharded:?} ({speedup:.2}x)"
+    );
+}

@@ -196,91 +196,98 @@ fn dedup(sets: Vec<TaskSet>) -> Vec<TaskSet> {
 mod tests {
     use super::*;
     use crate::model::{OperatorSpec, Partitioning, TopologyBuilder};
+    use std::error::Error;
+
+    type TestResult = Result<(), Box<dyn Error>>;
 
     /// 4 sources -(merge)-> 2 mids -(merge)-> 1 sink: each source picks a
     /// unique path, so there are exactly 4 MC-trees of 3 tasks each.
-    fn merge_chain() -> TaskGraph {
+    fn merge_chain() -> Result<TaskGraph, Box<dyn Error>> {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
         let k = b.add_operator(OperatorSpec::map("k", 1, 1.0));
-        b.connect(s, m, Partitioning::Merge).unwrap();
-        b.connect(m, k, Partitioning::Merge).unwrap();
-        TaskGraph::new(b.build().unwrap())
+        b.connect(s, m, Partitioning::Merge)?;
+        b.connect(m, k, Partitioning::Merge)?;
+        Ok(TaskGraph::new(b.build()?))
     }
 
     #[test]
-    fn merge_chain_has_one_tree_per_source() {
-        let g = merge_chain();
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+    fn merge_chain_has_one_tree_per_source() -> TestResult {
+        let g = merge_chain()?;
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 4);
         for tree in &trees {
             assert_eq!(tree.len(), 3);
             assert!(tree.contains(TaskIndex(6)), "all trees end at the sink");
         }
+        Ok(())
     }
 
     /// 2+2 sources full into a 2-task independent op, full into 1 sink:
     /// trees = (2+2 sources) × 2 mid tasks = 8.
     #[test]
-    fn independent_full_topology_counts() {
+    fn independent_full_topology_counts() -> TestResult {
         let mut b = TopologyBuilder::new();
         let s1 = b.add_operator(OperatorSpec::source("s1", 2, 10.0));
         let s2 = b.add_operator(OperatorSpec::source("s2", 2, 10.0));
         let m = b.add_operator(OperatorSpec::map("m", 2, 1.0));
         let k = b.add_operator(OperatorSpec::map("k", 1, 1.0));
-        b.connect(s1, m, Partitioning::Full).unwrap();
-        b.connect(s2, m, Partitioning::Full).unwrap();
-        b.connect(m, k, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+        b.connect(s1, m, Partitioning::Full)?;
+        b.connect(s2, m, Partitioning::Full)?;
+        b.connect(m, k, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 8);
         for tree in &trees {
             assert_eq!(tree.len(), 3, "source, mid, sink");
         }
+        Ok(())
     }
 
     /// Same shape but the mid operator is a join: each mid task needs one
     /// source from *each* source operator: 2 × 2 × 2 = 8 trees of 4 tasks.
     #[test]
-    fn correlated_full_topology_counts() {
+    fn correlated_full_topology_counts() -> TestResult {
         let mut b = TopologyBuilder::new();
         let s1 = b.add_operator(OperatorSpec::source("s1", 2, 10.0));
         let s2 = b.add_operator(OperatorSpec::source("s2", 2, 10.0));
         let m = b.add_operator(OperatorSpec::join("m", 2, 1.0));
         let k = b.add_operator(OperatorSpec::map("k", 1, 1.0));
-        b.connect(s1, m, Partitioning::Full).unwrap();
-        b.connect(s2, m, Partitioning::Full).unwrap();
-        b.connect(m, k, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+        b.connect(s1, m, Partitioning::Full)?;
+        b.connect(s2, m, Partitioning::Full)?;
+        b.connect(m, k, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 8);
         for tree in &trees {
             assert_eq!(tree.len(), 4, "one source from each operator, mid, sink");
         }
+        Ok(())
     }
 
     #[test]
-    fn explosion_guard_fires() {
+    fn explosion_guard_fires() -> TestResult {
         // A full chain: 4 × 4 × 4 × 4 trees = 256 > limit 100.
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 4, 10.0));
         let m1 = b.add_operator(OperatorSpec::map("m1", 4, 1.0));
         let m2 = b.add_operator(OperatorSpec::map("m2", 4, 1.0));
         let k = b.add_operator(OperatorSpec::map("k", 4, 1.0));
-        b.connect(s, m1, Partitioning::Full).unwrap();
-        b.connect(m1, m2, Partitioning::Full).unwrap();
-        b.connect(m2, k, Partitioning::Full).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
+        b.connect(s, m1, Partitioning::Full)?;
+        b.connect(m1, m2, Partitioning::Full)?;
+        b.connect(m2, k, Partitioning::Full)?;
+        let g = TaskGraph::new(b.build()?);
         let err = enumerate_mc_trees(&g, McTreeLimits { max_trees: 100 }).unwrap_err();
         assert!(matches!(err, CoreError::McTreeExplosion { limit: 100 }));
         // And with a generous limit the count is exactly 4^4.
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 256);
+        Ok(())
     }
 
     #[test]
-    fn trees_are_deduplicated_on_shared_sources() {
+    fn trees_are_deduplicated_on_shared_sources() -> TestResult {
         // One source task shared by a join's both branches through two maps:
         // src -> a -> j, src -> b -> j. The join's two streams share src, so
         // each tree contains src once.
@@ -289,35 +296,37 @@ mod tests {
         let a = b.add_operator(OperatorSpec::map("a", 1, 1.0));
         let c = b.add_operator(OperatorSpec::map("b", 1, 1.0));
         let j = b.add_operator(OperatorSpec::join("j", 1, 1.0));
-        b.connect(s, a, Partitioning::OneToOne).unwrap();
-        b.connect(s, c, Partitioning::OneToOne).unwrap();
-        b.connect(a, j, Partitioning::OneToOne).unwrap();
-        b.connect(c, j, Partitioning::OneToOne).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+        b.connect(s, a, Partitioning::OneToOne)?;
+        b.connect(s, c, Partitioning::OneToOne)?;
+        b.connect(a, j, Partitioning::OneToOne)?;
+        b.connect(c, j, Partitioning::OneToOne)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].len(), 4);
+        Ok(())
     }
 
     #[test]
-    fn min_tree_size_matches_enumeration_on_chains() {
-        let g = merge_chain();
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
-        let min = trees.iter().map(TaskSet::len).min().unwrap();
+    fn min_tree_size_matches_enumeration_on_chains() -> TestResult {
+        let g = merge_chain()?;
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
+        let min = trees.iter().map(TaskSet::len).min().ok_or("no trees")?;
         assert_eq!(min_tree_size(&g), min, "exact on join-free topologies");
+        Ok(())
     }
 
     #[test]
-    fn min_tree_size_is_an_admissible_bound_for_joins() {
+    fn min_tree_size_is_an_admissible_bound_for_joins() -> TestResult {
         let mut b = TopologyBuilder::new();
         let s1 = b.add_operator(OperatorSpec::source("s1", 2, 10.0));
         let s2 = b.add_operator(OperatorSpec::source("s2", 2, 10.0));
         let j = b.add_operator(OperatorSpec::join("j", 1, 1.0));
-        b.connect(s1, j, Partitioning::Merge).unwrap();
-        b.connect(s2, j, Partitioning::Merge).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
-        let true_min = trees.iter().map(TaskSet::len).min().unwrap();
+        b.connect(s1, j, Partitioning::Merge)?;
+        b.connect(s2, j, Partitioning::Merge)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
+        let true_min = trees.iter().map(TaskSet::len).min().ok_or("no trees")?;
         assert_eq!(true_min, 3);
         let bound = min_tree_size(&g);
         assert!(
@@ -325,10 +334,11 @@ mod tests {
             "bound {bound} must not exceed {true_min}"
         );
         assert!(bound >= 2, "join + one branch at least");
+        Ok(())
     }
 
     #[test]
-    fn min_tree_size_bound_holds_on_diamonds() {
+    fn min_tree_size_bound_holds_on_diamonds() -> TestResult {
         // Shared source between both join branches: the true minimum tree is
         // 4 tasks (src, a, b, j); the sum rule would claim 2+2+1+... > 4.
         let mut b = TopologyBuilder::new();
@@ -336,26 +346,28 @@ mod tests {
         let a = b.add_operator(OperatorSpec::map("a", 1, 1.0));
         let c = b.add_operator(OperatorSpec::map("b", 1, 1.0));
         let j = b.add_operator(OperatorSpec::join("j", 1, 1.0));
-        b.connect(s, a, Partitioning::OneToOne).unwrap();
-        b.connect(s, c, Partitioning::OneToOne).unwrap();
-        b.connect(a, j, Partitioning::OneToOne).unwrap();
-        b.connect(c, j, Partitioning::OneToOne).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
-        let true_min = trees.iter().map(TaskSet::len).min().unwrap();
+        b.connect(s, a, Partitioning::OneToOne)?;
+        b.connect(s, c, Partitioning::OneToOne)?;
+        b.connect(a, j, Partitioning::OneToOne)?;
+        b.connect(c, j, Partitioning::OneToOne)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
+        let true_min = trees.iter().map(TaskSet::len).min().ok_or("no trees")?;
         assert!(min_tree_size(&g) <= true_min);
+        Ok(())
     }
 
     #[test]
-    fn multi_sink_topologies_collect_all_roots() {
+    fn multi_sink_topologies_collect_all_roots() -> TestResult {
         let mut b = TopologyBuilder::new();
         let s = b.add_operator(OperatorSpec::source("s", 2, 10.0));
         let k1 = b.add_operator(OperatorSpec::map("k1", 2, 1.0));
         let k2 = b.add_operator(OperatorSpec::map("k2", 2, 1.0));
-        b.connect(s, k1, Partitioning::OneToOne).unwrap();
-        b.connect(s, k2, Partitioning::OneToOne).unwrap();
-        let g = TaskGraph::new(b.build().unwrap());
-        let trees = enumerate_mc_trees(&g, McTreeLimits::default()).unwrap();
+        b.connect(s, k1, Partitioning::OneToOne)?;
+        b.connect(s, k2, Partitioning::OneToOne)?;
+        let g = TaskGraph::new(b.build()?);
+        let trees = enumerate_mc_trees(&g, McTreeLimits::default())?;
         assert_eq!(trees.len(), 4, "2 per sink operator");
+        Ok(())
     }
 }

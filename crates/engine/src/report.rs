@@ -182,6 +182,9 @@ pub struct RunReport {
     pub throughput: Vec<TaskThroughput>,
     /// Number of events the simulation processed.
     pub events: u64,
+    /// Tuples scheduled for delivery (replica copies included) — the
+    /// deterministic volume denominator behind the harness's tuples/sec.
+    pub tuples_moved: u64,
     /// Virtual time the run ended.
     pub ended_at: SimTime,
 }

@@ -1,0 +1,553 @@
+//! Lane-local event handlers: the data-plane half of the event loop
+//! (source generation, delivery, batch processing) factored so it can run
+//! either inline on the simulation thread or inside a worker lane of the
+//! sharded executor (see [`super::shard`]).
+//!
+//! A lane handler may only touch the state passed to it — the receiving
+//! task's [`TaskRt`], its node's CPU horizon, and the read-only
+//! [`LaneCtx`] — and stages every global side effect (scheduling, sink
+//! output, recovery completion) into [`LaneEffects`]. The simulation
+//! applies staged effects per event in global span order, which is what
+//! makes the merged parallel execution byte-identical to the sequential
+//! one: two events of different lanes can only interact through effects,
+//! and effects replay in the exact order the single-threaded loop would
+//! have produced them.
+//!
+//! Handlers must be panic-free: a lane runs on a worker thread, so broken
+//! internal invariants degrade to `debug_assert!` + a safe early return
+//! instead of unwinding across the executor.
+
+use super::{Event, Msg, Rt, Status, TaskRt};
+use crate::config::EngineConfig;
+use crate::report::SinkBatch;
+use crate::tuple::{route, Tuple};
+use crate::udf::{BatchCtx, InputBatch};
+use ppa_core::model::{TaskGraph, TaskIndex};
+use ppa_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Read-only simulation state a lane handler may consult. All fields are
+/// immutable for the whole span (only solo, carried events mutate them),
+/// so sharing them across worker threads is safe.
+pub(super) struct LaneCtx<'a> {
+    pub graph: &'a TaskGraph,
+    pub config: &'a EngineConfig,
+    pub replica_slot: &'a [Option<Rt>],
+    pub storm_buffer_batches: Option<u64>,
+    /// The span's instant (== the scheduler clock while it executes).
+    pub now: SimTime,
+}
+
+/// Global side effects staged by one lane event, applied by the
+/// simulation in global span order.
+#[derive(Default)]
+pub(super) struct LaneEffects {
+    /// Events to schedule, in call order (so sequence numbers — and with
+    /// them all same-instant tie-breaks — match the sequential loop).
+    pub scheduled: Vec<(SimTime, Event)>,
+    /// Sink records produced by active sink incarnations.
+    pub sink: Vec<SinkBatch>,
+    /// Logical tasks whose catch-up completed at the given instant.
+    pub recovered: Vec<(usize, SimTime)>,
+    /// Tuples scheduled for delivery (including replica copies).
+    pub tuples_moved: u64,
+}
+
+/// A data-plane event in lane-local form.
+pub(super) enum LaneEvent {
+    /// [`Event::SourceBatch`]: cadence + generation.
+    Source { batch: u64 },
+    /// Bare generation (restore/catch-up paths; no cadence rescheduling).
+    Generate { batch: u64, regen: bool },
+    /// [`Event::Deliver`].
+    Deliver {
+        substream: usize,
+        batch: u64,
+        msg: Msg,
+    },
+    /// Drain consecutive ready batches (restore paths).
+    TryProcess,
+}
+
+/// Runs one lane event against one task. `busy` is the CPU horizon of
+/// the node hosting `task`; distinct lanes reference distinct nodes, so
+/// horizons never race.
+pub(super) fn handle(
+    cx: &LaneCtx<'_>,
+    rt: Rt,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    ev: LaneEvent,
+    fx: &mut LaneEffects,
+) {
+    match ev {
+        LaneEvent::Source { batch } => source_batch(cx, rt, task, busy, batch, fx),
+        LaneEvent::Generate { batch, regen } => generate(cx, task, busy, batch, regen, fx),
+        LaneEvent::Deliver {
+            substream,
+            batch,
+            msg,
+        } => deliver(cx, task, busy, substream, batch, msg, fx),
+        LaneEvent::TryProcess => try_process(cx, task, busy, fx),
+    }
+}
+
+/// Reserves `work` on a node CPU horizon; returns the finish instant.
+fn reserve(busy: &mut SimTime, now: SimTime, work: SimDuration) -> SimTime {
+    let start = (*busy).max(now);
+    let finish = start + work;
+    *busy = finish;
+    finish
+}
+
+fn source_batch(
+    cx: &LaneCtx<'_>,
+    rt: Rt,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    batch: u64,
+    fx: &mut LaneEffects,
+) {
+    // A replica slot the control plane deactivated is orphaned: stop
+    // its cadence instead of ticking an event stream forever.
+    if task.is_replica && cx.replica_slot[task.logical.0] != Some(rt) {
+        return;
+    }
+    // Always keep the cadence going; a dead source skips generation.
+    let next_at = cx.now + cx.config.batch_interval;
+    fx.scheduled.push((
+        next_at,
+        Event::SourceBatch {
+            rt,
+            batch: batch + 1,
+        },
+    ));
+
+    if task.status != Status::Running {
+        return;
+    }
+    generate(cx, task, busy, batch, false, fx);
+}
+
+/// Generates one source batch; `regen` marks catch-up regeneration.
+fn generate(
+    cx: &LaneCtx<'_>,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    batch: u64,
+    regen: bool,
+    fx: &mut LaneEffects,
+) {
+    let Some(source) = task.source.as_mut() else {
+        debug_assert!(false, "generate_source_batch on a non-source task");
+        return;
+    };
+    let tuples = source.batch(batch);
+    let cost = if regen {
+        cx.config.costs.replay_per_tuple
+    } else {
+        cx.config.costs.source_per_tuple
+    };
+    let work = cost * tuples.len() as u64;
+    let finish = reserve(busy, cx.now, work);
+    task.cpu.processing += work;
+    if !regen {
+        task.throughput.tuples_out += tuples.len() as u64;
+    }
+    task.next_batch = task.next_batch.max(batch + 1);
+    emit(cx, task, batch, tuples, false, finish, fx);
+    trim_storm_buffer(cx, task);
+}
+
+/// Partitions `tuples` across the task's out targets, buffers them and
+/// (if outputs are enabled) schedules deliveries at `finish + latency`.
+///
+/// The route table (`TaskRt::stream_spans`) is precomputed at task
+/// construction; single-target streams forward the whole batch behind one
+/// shared `Arc` with no per-tuple work at all, and multi-target streams
+/// bin each tuple exactly once.
+pub(super) fn emit(
+    cx: &LaneCtx<'_>,
+    task: &mut TaskRt,
+    batch: u64,
+    tuples: Vec<Tuple>,
+    degraded: bool,
+    finish: SimTime,
+    fx: &mut LaneEffects,
+) {
+    let n_targets = task.out_targets.len();
+    if n_targets == 0 {
+        return;
+    }
+    let whole = Arc::new(tuples);
+    let mut parts: Vec<Option<Arc<Vec<Tuple>>>> = vec![None; n_targets];
+    for &(start, len) in &task.stream_spans {
+        if len == 1 {
+            parts[start] = Some(whole.clone());
+        } else {
+            let mut bins: Vec<Vec<Tuple>> = vec![Vec::new(); len];
+            for t in whole.iter() {
+                bins[route(t.key, len)].push(t.clone());
+            }
+            for (j, bin) in bins.into_iter().enumerate() {
+                parts[start + j] = Some(Arc::new(bin));
+            }
+        }
+    }
+    let outputs_enabled = task.outputs_enabled;
+    let deliver_at = finish + cx.config.costs.network_latency;
+    for (k, part) in parts.into_iter().enumerate() {
+        let Some(part) = part else {
+            debug_assert!(false, "stream spans must cover every out target");
+            continue;
+        };
+        task.out_buffer[k].push_back((batch, part.clone(), degraded));
+        if outputs_enabled {
+            let (to, to_substream) = (task.out_targets[k].to, task.out_targets[k].to_substream);
+            deliver_to(
+                cx,
+                fx,
+                to,
+                to_substream,
+                batch,
+                part,
+                degraded,
+                None,
+                deliver_at,
+            );
+        }
+    }
+}
+
+/// Stages a Data delivery to the primary slot and replica slot (if any)
+/// of a logical task.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn deliver_to(
+    cx: &LaneCtx<'_>,
+    fx: &mut LaneEffects,
+    to: TaskIndex,
+    substream: usize,
+    batch: u64,
+    tuples: Arc<Vec<Tuple>>,
+    degraded: bool,
+    replay_for: Option<TaskIndex>,
+    at: SimTime,
+) {
+    fx.tuples_moved += tuples.len() as u64;
+    fx.scheduled.push((
+        at,
+        Event::Deliver {
+            to: to.0,
+            substream,
+            batch,
+            msg: Msg::Data {
+                tuples: tuples.clone(),
+                degraded,
+                replay_for,
+            },
+        },
+    ));
+    if let Some(slot) = cx.replica_slot[to.0] {
+        fx.tuples_moved += tuples.len() as u64;
+        fx.scheduled.push((
+            at,
+            Event::Deliver {
+                to: slot,
+                substream,
+                batch,
+                msg: Msg::Data {
+                    tuples,
+                    degraded,
+                    replay_for,
+                },
+            },
+        ));
+    }
+}
+
+fn deliver(
+    cx: &LaneCtx<'_>,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    substream: usize,
+    batch: u64,
+    msg: Msg,
+    fx: &mut LaneEffects,
+) {
+    match task.status {
+        // Memory of dead/loading incarnations is gone; upstream buffers
+        // (or checkpointed buffers) re-serve these batches after restore.
+        Status::Dead | Status::Restoring => return,
+        Status::Running | Status::CatchingUp => {}
+    }
+    match msg {
+        Msg::Proxy => {
+            let c = &mut task.closed[substream];
+            *c = (*c).max(batch + 1);
+        }
+        Msg::Data {
+            tuples,
+            degraded,
+            replay_for,
+        } => {
+            // Storm replay forwarding: a hop that already processed this
+            // batch recharges reprocessing CPU and forwards its own
+            // buffered output toward the recovering task.
+            if let Some(target) = replay_for {
+                if task.logical != target && batch < task.next_batch {
+                    forward_replay(cx, task, busy, batch, tuples.len(), target, fx);
+                    return;
+                }
+            }
+            if batch < task.next_batch
+                || batch < task.closed[substream]
+                || task.staged[substream].contains_key(&batch)
+            {
+                return; // duplicate
+            }
+            task.staged[substream].insert(batch, (tuples, degraded));
+        }
+    }
+    try_process(cx, task, busy, fx);
+}
+
+/// Storm-mode hop forwarding: charge replay CPU, forward the hop's own
+/// buffered output for this batch along edges toward `target`.
+fn forward_replay(
+    cx: &LaneCtx<'_>,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    batch: u64,
+    in_tuples: usize,
+    target: TaskIndex,
+    fx: &mut LaneEffects,
+) {
+    let work = cx.config.costs.replay_per_tuple * in_tuples as u64 + cx.config.costs.batch_overhead;
+    let finish = reserve(busy, cx.now, work);
+    task.cpu.processing += work;
+    let deliver_at = finish + cx.config.costs.network_latency;
+    let cone = upstream_cone(cx.graph, target);
+    let mut sends: Vec<(TaskIndex, usize, u64, Arc<Vec<Tuple>>)> = Vec::new();
+    for (k, tgt) in task.out_targets.iter().enumerate() {
+        if tgt.to != target && !cone[tgt.to.0] {
+            continue;
+        }
+        if let Some((b, tuples, _)) = task.out_buffer[k].iter().find(|(b, _, _)| *b == batch) {
+            sends.push((tgt.to, tgt.to_substream, *b, tuples.clone()));
+        }
+    }
+    for (to, substream, b, tuples) in sends {
+        deliver_to(
+            cx,
+            fx,
+            to,
+            substream,
+            b,
+            tuples,
+            false,
+            Some(target),
+            deliver_at,
+        );
+    }
+}
+
+/// Logical tasks with a path to `t` (the replay cone), excluding `t`.
+pub(super) fn upstream_cone(graph: &TaskGraph, t: TaskIndex) -> Vec<bool> {
+    let mut cone = vec![false; graph.n_tasks()];
+    let mut stack = vec![t];
+    while let Some(x) = stack.pop() {
+        for u in graph.upstream_tasks(x) {
+            if !cone[u.0] {
+                cone[u.0] = true;
+                stack.push(u);
+            }
+        }
+    }
+    cone
+}
+
+/// Processes as many consecutive ready batches as possible.
+fn try_process(cx: &LaneCtx<'_>, task: &mut TaskRt, busy: &mut SimTime, fx: &mut LaneEffects) {
+    loop {
+        let b = task.next_batch;
+        if !task.ready(b) {
+            return;
+        }
+        process_batch(cx, task, busy, b, fx);
+    }
+}
+
+fn process_batch(
+    cx: &LaneCtx<'_>,
+    task: &mut TaskRt,
+    busy: &mut SimTime,
+    b: u64,
+    fx: &mut LaneEffects,
+) {
+    if task.udf.is_none() {
+        // Never reached for well-formed graphs (sources have no inputs,
+        // so nothing is delivered to them); advance the cursor anyway so
+        // `try_process` cannot spin.
+        debug_assert!(false, "process_batch on a task without a UDF");
+        task.next_batch = b + 1;
+        return;
+    }
+    // Assemble per-stream inputs (round-robin merge across substreams).
+    let n_streams = cx.graph.inputs(task.logical).len();
+    let mut degraded = false;
+    let mut total_in = 0usize;
+    // Gather this batch's substream data per stream.
+    let mut per_stream: Vec<Vec<Arc<Vec<Tuple>>>> = vec![Vec::new(); n_streams];
+    for s in 0..task.n_substreams() {
+        let (stream, _) = task.sub_from[s];
+        match task.staged[s].remove(&b) {
+            Some((tuples, d)) => {
+                degraded |= d;
+                total_in += tuples.len();
+                per_stream[stream].push(tuples);
+            }
+            None => {
+                // Closed by proxy: missing contribution.
+                debug_assert!(task.closed[s] > b);
+                degraded = true;
+            }
+        }
+        // Drop any stale staged batches below the cursor.
+        while let Some((&k, _)) = task.staged[s].iter().next() {
+            if k <= b {
+                task.staged[s].remove(&k);
+            } else {
+                break;
+            }
+        }
+    }
+    // Streams fed by exactly one substream (the common case) pass their
+    // chunk through zero-copy; fan-in streams round-robin interleave for
+    // deterministic replica order, exactly like the interleave of one
+    // chunk would.
+    enum StreamData {
+        Whole(Arc<Vec<Tuple>>),
+        Merged(Vec<Tuple>),
+    }
+    let merged: Vec<StreamData> = per_stream
+        .into_iter()
+        .map(|mut chunks| {
+            if chunks.len() == 1 {
+                let Some(only) = chunks.pop() else {
+                    return StreamData::Merged(Vec::new());
+                };
+                return StreamData::Whole(only);
+            }
+            let max_len = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+            let mut out = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
+            for i in 0..max_len {
+                for c in &chunks {
+                    if let Some(t) = c.get(i) {
+                        out.push(t.clone());
+                    }
+                }
+            }
+            StreamData::Merged(out)
+        })
+        .collect();
+
+    // CPU charge.
+    let catching_up = task.status == Status::CatchingUp;
+    let per_tuple = if catching_up {
+        cx.config.costs.replay_per_tuple
+    } else {
+        cx.config.costs.process_per_tuple
+    };
+    let work = cx.config.costs.batch_overhead + per_tuple * total_in as u64;
+    let finish = reserve(busy, cx.now, work);
+    task.cpu.processing += work;
+    if !catching_up {
+        task.throughput.tuples_in += total_in as u64;
+    }
+
+    // Run the UDF.
+    let mut out = Vec::new();
+    {
+        let op = cx.graph.operator_of(task.logical);
+        let ctx = BatchCtx {
+            batch: b,
+            now: finish,
+            task_local: cx.graph.local_index(task.logical),
+            parallelism: cx.graph.topology().operator(op).parallelism,
+        };
+        let inputs: Vec<InputBatch<'_>> = merged
+            .iter()
+            .enumerate()
+            .map(|(stream, data)| InputBatch {
+                stream,
+                tuples: match data {
+                    StreamData::Whole(arc) => arc.as_slice(),
+                    StreamData::Merged(v) => v.as_slice(),
+                },
+            })
+            .collect();
+        if let Some(udf) = task.udf.as_mut() {
+            udf.on_batch(&ctx, &inputs, &mut out);
+        }
+        task.next_batch = b + 1;
+    }
+    if !catching_up {
+        task.throughput.tuples_out += out.len() as u64;
+    }
+
+    // Recovery completion check: progress vector dominated. Staged (not
+    // applied inline) because the outage books are global state; events
+    // reaching a catching-up task only ever run sequentially, so the
+    // deferred application preserves the legacy order exactly.
+    if catching_up {
+        if let Some(pre) = task.pre_failure_progress {
+            if task.next_batch >= pre {
+                task.status = Status::Running;
+                fx.recovered.push((task.logical.0, finish));
+            }
+        }
+    }
+
+    // Sink collection: active incarnations record directly; muted sink
+    // replicas stash records so a takeover can backfill the gap between
+    // the primary's death and its own activation.
+    if cx.graph.is_sink_task(task.logical) {
+        let record = SinkBatch {
+            task: task.logical,
+            batch: b,
+            at: finish,
+            tentative: degraded,
+            tuples: out.clone(),
+        };
+        if task.outputs_enabled {
+            fx.sink.push(record);
+        } else {
+            task.pending_sink.push(record);
+            // Bound the stash to the replica sync horizon.
+            if task.pending_sink.len() > 256 {
+                task.pending_sink.remove(0);
+            }
+        }
+    }
+
+    emit(cx, task, b, out, degraded, finish, fx);
+    trim_storm_buffer(cx, task);
+}
+
+/// Storm mode keeps only the replay window (plus a safety margin so a
+/// recovering task's oldest needed batch is still forwardable by hops
+/// whose cursors run slightly ahead) in output buffers.
+fn trim_storm_buffer(cx: &LaneCtx<'_>, task: &mut TaskRt) {
+    if let Some(w) = cx.storm_buffer_batches {
+        let min_keep = task.next_batch.saturating_sub(w + 5);
+        for q in &mut task.out_buffer {
+            while let Some((b, _, _)) = q.front() {
+                if *b < min_keep {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}

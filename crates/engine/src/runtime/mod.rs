@@ -36,8 +36,8 @@ use crate::query::Query;
 use crate::report::{
     CpuStats, Lifecycle, OutageRecord, RunReport, SinkBatch, TaskOutages, TaskRecovery,
 };
-use crate::tuple::{route, Tuple};
-use crate::udf::{BatchCtx, InputBatch, SourceGen, Udf};
+use crate::tuple::Tuple;
+use crate::udf::{SourceGen, Udf};
 use ppa_core::model::{TaskGraph, TaskIndex};
 use ppa_core::{AdaptivePlanner, StructureAwarePlanner, TaskSet};
 use ppa_faults::FailureTrace;
@@ -47,6 +47,15 @@ use ppa_sim::{Scheduler, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+mod lane;
+mod shard;
+
+/// Spans smaller than this run inline on the simulation thread even when
+/// `shards > 1`: below it, thread hand-off costs more than the work.
+/// Has no observable effect besides wall-clock time — effects replay in
+/// global span order either way.
+const MIN_PARALLEL_SPAN: usize = 8;
 
 /// A failure injection: the listed nodes die at `at`.
 #[derive(Debug, Clone)]
@@ -110,6 +119,10 @@ struct TaskRt {
     /// Whether processed batches are sent downstream (replicas start muted).
     outputs_enabled: bool,
     out_targets: Vec<OutTarget>,
+    /// Precomputed route table over `out_targets`: one `(start, len)`
+    /// span per output stream (targets of a stream are contiguous), so
+    /// `emit` never re-derives the partition layout per batch.
+    stream_spans: Vec<(usize, usize)>,
     out_buffer: Vec<VecDeque<Buffered>>,
     checkpoint: Option<Checkpoint>,
     /// Progress at the instant the hosting node failed.
@@ -121,7 +134,51 @@ struct TaskRt {
     throughput: crate::report::TaskThroughput,
 }
 
+/// The per-stream `(start, len)` spans of a task's out-target list
+/// (targets of one stream are contiguous by construction).
+fn stream_spans_of(out_targets: &[OutTarget]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < out_targets.len() {
+        let stream = out_targets[i].stream;
+        let start = i;
+        while i < out_targets.len() && out_targets[i].stream == stream {
+            i += 1;
+        }
+        spans.push((start, i - start));
+    }
+    spans
+}
+
 impl TaskRt {
+    /// An inert, allocation-free placeholder left in a task slot while
+    /// the real state is lent to a worker lane (see
+    /// [`Simulation::run_span`]). Never executed: a slot is only lent to
+    /// the one lane that will run its events.
+    fn tombstone() -> TaskRt {
+        TaskRt {
+            logical: TaskIndex(usize::MAX),
+            is_replica: false,
+            node: 0,
+            status: Status::Dead,
+            udf: None,
+            source: None,
+            sub_from: Vec::new(),
+            staged: Vec::new(),
+            closed: Vec::new(),
+            next_batch: 0,
+            outputs_enabled: false,
+            out_targets: Vec::new(),
+            stream_spans: Vec::new(),
+            out_buffer: Vec::new(),
+            checkpoint: None,
+            pre_failure_progress: None,
+            pending_sink: Vec::new(),
+            cpu: CpuStats::default(),
+            throughput: crate::report::TaskThroughput::default(),
+        }
+    }
+
     fn n_substreams(&self) -> usize {
         self.sub_from.len()
     }
@@ -214,6 +271,13 @@ pub struct Simulation {
     recovery_setbacks: usize,
     sink: Vec<SinkBatch>,
     events: u64,
+    /// Tuples scheduled for delivery so far (replica copies included) —
+    /// the denominator of the bench harness's tuples/sec figures.
+    tuples_moved: u64,
+    /// Portions of `events` / `tuples_moved` already flushed into the
+    /// metrics registry (a repeated `drive` must not double-count).
+    events_metered: u64,
+    tuples_metered: u64,
     /// Fresh-UDF factories for Storm restarts, one per logical task.
     fresh_udf: Vec<Option<Box<dyn Fn() -> Box<dyn Udf>>>>,
     /// Spare source generators, one per source task — consumed when the
@@ -327,6 +391,7 @@ impl Simulation {
                 next_batch: 0,
                 outputs_enabled: !is_replica,
                 out_targets: out_targets[t].clone(),
+                stream_spans: stream_spans_of(&out_targets[t]),
                 out_buffer: vec![VecDeque::new(); out_targets[t].len()],
                 checkpoint: None,
                 pre_failure_progress: None,
@@ -384,7 +449,10 @@ impl Simulation {
         let active_plan = plan.clone().unwrap_or_else(|| TaskSet::empty(n));
 
         let mut sim = Simulation {
-            sched: Scheduler::new(),
+            // The steady state keeps roughly one pending event per task
+            // slot (plus periodic timers): pre-size the scheduler so the
+            // heap and slot arena never grow mid-run.
+            sched: Scheduler::with_capacity(2 * tasks.len() + 16),
             node_busy: vec![SimTime::ZERO; placement.n_nodes()],
             node_alive: vec![true; placement.n_nodes()],
             failures: Vec::new(),
@@ -394,6 +462,9 @@ impl Simulation {
             recovery_setbacks: 0,
             sink: Vec::new(),
             events: 0,
+            tuples_moved: 0,
+            events_metered: 0,
+            tuples_metered: 0,
             tasks,
             replica_slot,
             graph,
@@ -517,10 +588,7 @@ impl Simulation {
 
     /// Runs the simulation until virtual time `until` and returns the report.
     pub fn run_until(&mut self, until: SimTime) -> RunReport {
-        while let Some((_, ev)) = self.sched.next_until(until) {
-            self.events += 1;
-            self.handle(ev);
-        }
+        while self.step_until(until).is_some() {}
         self.report_at(until)
     }
 
@@ -555,6 +623,7 @@ impl Simulation {
                 .map(|t| t.throughput)
                 .collect(),
             events: self.events,
+            tuples_moved: self.tuples_moved,
             ended_at: until,
         }
     }
@@ -628,10 +697,7 @@ impl Simulation {
                 Some(e) if e < until => e,
                 _ => until,
             };
-            while let Some((_, ev)) = self.sched.next_until(deadline) {
-                self.events += 1;
-                let failure = matches!(ev, Event::Failure { .. });
-                self.handle(ev);
+            while let Some(failure) = self.step_until(deadline) {
                 if failure {
                     let now = self.sched.now();
                     let acts = policy.on_failure(&self.health_view(now));
@@ -653,6 +719,16 @@ impl Simulation {
                 _ => break,
             }
         }
+        // Flush throughput counters into the metrics registry as deltas,
+        // so a repeated drive over the same simulation never double-adds.
+        self.metrics
+            .add("engine.events.processed", self.events - self.events_metered);
+        self.events_metered = self.events;
+        self.metrics.add(
+            "engine.tuples.moved",
+            self.tuples_moved - self.tuples_metered,
+        );
+        self.tuples_metered = self.tuples_moved;
         Ok(DriveReport {
             report: self.report_at(until),
             actions,
@@ -1165,6 +1241,7 @@ impl Simulation {
             next_batch,
             outputs_enabled: false,
             out_targets: self.tasks[t].out_targets.clone(),
+            stream_spans: self.tasks[t].stream_spans.clone(),
             out_buffer: vec![VecDeque::new(); self.tasks[t].out_targets.len()],
             checkpoint: None,
             pre_failure_progress: None,
@@ -1274,6 +1351,192 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
+    // Lane execution: the sharded event loop
+    // ------------------------------------------------------------------
+
+    /// The read-only context lane handlers run against, frozen at the
+    /// current scheduler instant.
+    fn lane_ctx(&self) -> lane::LaneCtx<'_> {
+        lane::LaneCtx {
+            graph: &self.graph,
+            config: &self.config,
+            replica_slot: &self.replica_slot,
+            storm_buffer_batches: self.storm_buffer_batches,
+            now: self.sched.now(),
+        }
+    }
+
+    /// Runs one data-plane event inline through the lane handlers and
+    /// applies its staged effects immediately — the sequential execution
+    /// path, shared with every solo caller (restore, replica activation).
+    fn run_lane(&mut self, rt: Rt, ev: lane::LaneEvent) {
+        let node = self.tasks[rt].node;
+        let mut fx = lane::LaneEffects::default();
+        let cx = lane::LaneCtx {
+            graph: &self.graph,
+            config: &self.config,
+            replica_slot: &self.replica_slot,
+            storm_buffer_batches: self.storm_buffer_batches,
+            now: self.sched.now(),
+        };
+        lane::handle(
+            &cx,
+            rt,
+            &mut self.tasks[rt],
+            &mut self.node_busy[node],
+            ev,
+            &mut fx,
+        );
+        self.apply_effects(fx);
+    }
+
+    /// Applies one event's staged effects. Scheduling in call order keeps
+    /// sequence numbers — and with them every same-instant tie-break —
+    /// identical to the single-threaded loop.
+    fn apply_effects(&mut self, fx: lane::LaneEffects) {
+        let lane::LaneEffects {
+            scheduled,
+            sink,
+            recovered,
+            tuples_moved,
+        } = fx;
+        for (at, ev) in scheduled {
+            self.sched.at(at, ev);
+        }
+        self.sink.extend(sink);
+        for (t, at) in recovered {
+            self.mark_recovered(t, at);
+        }
+        self.tuples_moved += tuples_moved;
+    }
+
+    /// Fires the next event (or same-instant span of events) at or before
+    /// `deadline`. Returns `None` when nothing fires, else whether a
+    /// failure event fired (the control-plane hook trigger).
+    fn step_until(&mut self, deadline: SimTime) -> Option<bool> {
+        if self.config.shards <= 1 {
+            // The legacy path, bit-for-bit: one event per step.
+            let (_, ev) = self.sched.next_until(deadline)?;
+            self.events += 1;
+            let failure = matches!(ev, Event::Failure { .. });
+            self.handle(ev);
+            return Some(failure);
+        }
+        // Eligible for lane execution: data-plane events whose handler
+        // only touches the receiving task and its node. Deliveries to a
+        // catching-up task are excluded because finishing a catch-up
+        // closes the (global) outage books. Everything else — timers,
+        // failures, master actions — runs solo, carried after the span.
+        let tasks = &self.tasks;
+        let span = self.sched.pop_span(deadline, |ev| match *ev {
+            Event::SourceBatch { rt, .. } => Some(tasks[rt].node),
+            Event::Deliver { to, .. } if tasks[to].status != Status::CatchingUp => {
+                Some(tasks[to].node)
+            }
+            _ => None,
+        })?;
+        self.events += span.events.len() as u64;
+        self.run_span(span.at, span.events);
+        let mut failure = false;
+        if let Some(ev) = span.carried {
+            self.events += 1;
+            failure = matches!(ev, Event::Failure { .. });
+            self.handle(ev);
+        }
+        Some(failure)
+    }
+
+    /// Executes a same-instant span of eligible events: groups them into
+    /// per-node lanes, runs the lanes on the shard executor, then applies
+    /// every event's staged effects in global span order — reproducing
+    /// the sequential execution exactly (see `crates/sim/src/lane.rs`).
+    fn run_span(&mut self, at: SimTime, events: Vec<(ppa_sim::ShardId, Event)>) {
+        if events.len() < MIN_PARALLEL_SPAN {
+            for (_, ev) in events {
+                self.handle(ev);
+            }
+            return;
+        }
+        let lanes = ppa_sim::group_lanes(events);
+        // Lend each lane its tasks' state (tombstones hold the slots) and
+        // a copy of its node's CPU horizon.
+        let mut jobs: Vec<shard::LaneJob> = Vec::with_capacity(lanes.len());
+        for l in lanes {
+            let node = l.shard;
+            let mut tasks: Vec<(Rt, TaskRt)> = Vec::new();
+            let mut events: Vec<(usize, Rt, lane::LaneEvent)> = Vec::with_capacity(l.events.len());
+            for (global, ev) in l.events {
+                let (rt, lev) = match ev {
+                    Event::SourceBatch { rt, batch } => (rt, lane::LaneEvent::Source { batch }),
+                    Event::Deliver {
+                        to,
+                        substream,
+                        batch,
+                        msg,
+                    } => (
+                        to,
+                        lane::LaneEvent::Deliver {
+                            substream,
+                            batch,
+                            msg,
+                        },
+                    ),
+                    _ => {
+                        debug_assert!(false, "ineligible event classified into a span");
+                        continue;
+                    }
+                };
+                if !tasks.iter().any(|&(r, _)| r == rt) {
+                    tasks.push((
+                        rt,
+                        std::mem::replace(&mut self.tasks[rt], TaskRt::tombstone()),
+                    ));
+                }
+                events.push((global, rt, lev));
+            }
+            jobs.push(shard::LaneJob {
+                node,
+                busy: self.node_busy[node],
+                tasks,
+                events,
+            });
+        }
+        let cx = lane::LaneCtx {
+            graph: &self.graph,
+            config: &self.config,
+            replica_slot: &self.replica_slot,
+            storm_buffer_batches: self.storm_buffer_batches,
+            now: at,
+        };
+        let results = shard::run_lanes(self.config.shards, jobs, |mut job: shard::LaneJob| {
+            let mut out: Vec<(usize, lane::LaneEffects)> = Vec::with_capacity(job.events.len());
+            for (global, rt, ev) in std::mem::take(&mut job.events) {
+                let mut fx = lane::LaneEffects::default();
+                let Some(slot) = job.tasks.iter_mut().find(|t| t.0 == rt) else {
+                    debug_assert!(false, "lane event without its task state");
+                    continue;
+                };
+                lane::handle(&cx, rt, &mut slot.1, &mut job.busy, ev, &mut fx);
+                out.push((global, fx));
+            }
+            (job, out)
+        });
+        // Return the lent state, then replay effects in global order.
+        let mut effects: Vec<(usize, lane::LaneEffects)> = Vec::new();
+        for (job, out) in results {
+            self.node_busy[job.node] = job.busy;
+            for (rt, task) in job.tasks {
+                self.tasks[rt] = task;
+            }
+            effects.extend(out);
+        }
+        effects.sort_by_key(|&(global, _)| global);
+        for (_, fx) in effects {
+            self.apply_effects(fx);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
 
@@ -1301,101 +1564,17 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_source_batch(&mut self, rt: Rt, batch: u64) {
-        // A replica slot the control plane deactivated is orphaned: stop
-        // its cadence instead of ticking an event stream forever.
-        if self.tasks[rt].is_replica && self.replica_slot[self.tasks[rt].logical.0] != Some(rt) {
-            return;
-        }
-        // Always keep the cadence going; a dead source skips generation.
-        let next_at = self.sched.now() + self.config.batch_interval;
-        self.sched.at(
-            next_at,
-            Event::SourceBatch {
-                rt,
-                batch: batch + 1,
-            },
-        );
-
-        if self.tasks[rt].status != Status::Running {
-            return;
-        }
-        self.generate_source_batch(rt, batch, false);
+        self.run_lane(rt, lane::LaneEvent::Source { batch });
     }
 
     /// Generates one source batch; `regen` marks catch-up regeneration.
     fn generate_source_batch(&mut self, rt: Rt, batch: u64, regen: bool) {
-        let tuples = self.tasks[rt]
-            .source
-            .as_mut()
-            .expect("source task")
-            .batch(batch);
-        let cost = if regen {
-            self.config.costs.replay_per_tuple
-        } else {
-            self.config.costs.source_per_tuple
-        };
-        let work = cost * tuples.len() as u64;
-        let node = self.tasks[rt].node;
-        let finish = self.reserve(node, work);
-        self.tasks[rt].cpu.processing += work;
-        if !regen {
-            self.tasks[rt].throughput.tuples_out += tuples.len() as u64;
-        }
-        self.tasks[rt].next_batch = self.tasks[rt].next_batch.max(batch + 1);
-        self.emit(rt, batch, tuples, false, finish);
-        self.trim_storm_buffer(rt);
+        self.run_lane(rt, lane::LaneEvent::Generate { batch, regen });
     }
 
     // ------------------------------------------------------------------
     // Output emission
     // ------------------------------------------------------------------
-
-    /// Partitions `tuples` across the task's out targets, buffers them and
-    /// (if outputs are enabled) schedules deliveries at `finish + latency`.
-    fn emit(&mut self, rt: Rt, batch: u64, tuples: Vec<Tuple>, degraded: bool, finish: SimTime) {
-        let n_targets = self.tasks[rt].out_targets.len();
-        if n_targets == 0 {
-            return;
-        }
-        // Per-stream target spans (targets of one stream are contiguous).
-        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n_targets];
-        {
-            let task = &self.tasks[rt];
-            let mut stream_spans: Vec<(usize, usize)> = Vec::new(); // (start, len)
-            let mut i = 0;
-            while i < n_targets {
-                let stream = task.out_targets[i].stream;
-                let start = i;
-                while i < n_targets && task.out_targets[i].stream == stream {
-                    i += 1;
-                }
-                stream_spans.push((start, i - start));
-            }
-            for &(start, len) in &stream_spans {
-                for t in &tuples {
-                    parts[start + route(t.key, len)].push(t.clone());
-                }
-            }
-        }
-        let outputs_enabled = self.tasks[rt].outputs_enabled;
-        let deliver_at = finish + self.config.costs.network_latency;
-        for (k, part) in parts.into_iter().enumerate() {
-            let part = Arc::new(part);
-            self.tasks[rt].out_buffer[k].push_back((batch, part.clone(), degraded));
-            if outputs_enabled {
-                let target = self.tasks[rt].out_targets[k].clone();
-                self.deliver_to_incarnations(
-                    target.to,
-                    target.to_substream,
-                    batch,
-                    part,
-                    degraded,
-                    None,
-                    deliver_at,
-                );
-            }
-        }
-    }
 
     /// Schedules a Data delivery to the primary slot and replica slot (if
     /// any) of a logical task.
@@ -1410,34 +1589,12 @@ impl Simulation {
         replay_for: Option<TaskIndex>,
         at: SimTime,
     ) {
-        self.sched.at(
-            at,
-            Event::Deliver {
-                to: to.0,
-                substream,
-                batch,
-                msg: Msg::Data {
-                    tuples: tuples.clone(),
-                    degraded,
-                    replay_for,
-                },
-            },
+        let mut fx = lane::LaneEffects::default();
+        let cx = self.lane_ctx();
+        lane::deliver_to(
+            &cx, &mut fx, to, substream, batch, tuples, degraded, replay_for, at,
         );
-        if let Some(slot) = self.replica_slot[to.0] {
-            self.sched.at(
-                at,
-                Event::Deliver {
-                    to: slot,
-                    substream,
-                    batch,
-                    msg: Msg::Data {
-                        tuples,
-                        degraded,
-                        replay_for,
-                    },
-                },
-            );
-        }
+        self.apply_effects(fx);
     }
 
     // ------------------------------------------------------------------
@@ -1445,246 +1602,24 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_deliver(&mut self, to: Rt, substream: usize, batch: u64, msg: Msg) {
-        match self.tasks[to].status {
-            // Memory of dead/loading incarnations is gone; upstream buffers
-            // (or checkpointed buffers) re-serve these batches after restore.
-            Status::Dead | Status::Restoring => return,
-            Status::Running | Status::CatchingUp => {}
-        }
-        match msg {
-            Msg::Proxy => {
-                let c = &mut self.tasks[to].closed[substream];
-                *c = (*c).max(batch + 1);
-            }
-            Msg::Data {
-                tuples,
-                degraded,
-                replay_for,
-            } => {
-                // Storm replay forwarding: a hop that already processed this
-                // batch recharges reprocessing CPU and forwards its own
-                // buffered output toward the recovering task.
-                if let Some(target) = replay_for {
-                    if self.tasks[to].logical != target && batch < self.tasks[to].next_batch {
-                        self.forward_replay(to, batch, tuples.len(), target);
-                        return;
-                    }
-                }
-                if batch < self.tasks[to].next_batch
-                    || batch < self.tasks[to].closed[substream]
-                    || self.tasks[to].staged[substream].contains_key(&batch)
-                {
-                    return; // duplicate
-                }
-                self.tasks[to].staged[substream].insert(batch, (tuples, degraded));
-            }
-        }
-        self.try_process(to);
-    }
-
-    /// Storm-mode hop forwarding: charge replay CPU, forward the hop's own
-    /// buffered output for this batch along edges toward `target`.
-    fn forward_replay(&mut self, rt: Rt, batch: u64, in_tuples: usize, target: TaskIndex) {
-        let work = self.config.costs.replay_per_tuple * in_tuples as u64
-            + self.config.costs.batch_overhead;
-        let node = self.tasks[rt].node;
-        let finish = self.reserve(node, work);
-        self.tasks[rt].cpu.processing += work;
-        let deliver_at = finish + self.config.costs.network_latency;
-        let cone = self.upstream_cone(target);
-        // Collect (target info, payload) pairs first to satisfy borrowck.
-        let mut sends: Vec<(TaskIndex, usize, u64, Arc<Vec<Tuple>>)> = Vec::new();
-        {
-            let task = &self.tasks[rt];
-            for (k, tgt) in task.out_targets.iter().enumerate() {
-                if tgt.to != target && !cone[tgt.to.0] {
-                    continue;
-                }
-                if let Some((b, tuples, _)) =
-                    task.out_buffer[k].iter().find(|(b, _, _)| *b == batch)
-                {
-                    sends.push((tgt.to, tgt.to_substream, *b, tuples.clone()));
-                }
-            }
-        }
-        for (to, substream, b, tuples) in sends {
-            self.deliver_to_incarnations(to, substream, b, tuples, false, Some(target), deliver_at);
-        }
+        self.run_lane(
+            to,
+            lane::LaneEvent::Deliver {
+                substream,
+                batch,
+                msg,
+            },
+        );
     }
 
     /// Logical tasks with a path to `t` (the replay cone), excluding `t`.
     fn upstream_cone(&self, t: TaskIndex) -> Vec<bool> {
-        let mut cone = vec![false; self.graph.n_tasks()];
-        let mut stack = vec![t];
-        while let Some(x) = stack.pop() {
-            for u in self.graph.upstream_tasks(x) {
-                if !cone[u.0] {
-                    cone[u.0] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        cone
+        lane::upstream_cone(&self.graph, t)
     }
 
     /// Processes as many consecutive ready batches as possible.
     fn try_process(&mut self, rt: Rt) {
-        loop {
-            let b = self.tasks[rt].next_batch;
-            if !self.tasks[rt].ready(b) {
-                return;
-            }
-            self.process_batch(rt, b);
-        }
-    }
-
-    fn process_batch(&mut self, rt: Rt, b: u64) {
-        // Assemble per-stream inputs (round-robin merge across substreams).
-        let n_streams = self.graph.inputs(self.tasks[rt].logical).len();
-        let mut merged: Vec<Vec<Tuple>> = vec![Vec::new(); n_streams];
-        let mut degraded = false;
-        let mut total_in = 0usize;
-        {
-            let task = &mut self.tasks[rt];
-            // Gather this batch's substream data per stream.
-            let mut per_stream: Vec<Vec<Arc<Vec<Tuple>>>> = vec![Vec::new(); n_streams];
-            for s in 0..task.n_substreams() {
-                let (stream, _) = task.sub_from[s];
-                match task.staged[s].remove(&b) {
-                    Some((tuples, d)) => {
-                        degraded |= d;
-                        total_in += tuples.len();
-                        per_stream[stream].push(tuples);
-                    }
-                    None => {
-                        // Closed by proxy: missing contribution.
-                        debug_assert!(task.closed[s] > b);
-                        degraded = true;
-                    }
-                }
-                // Drop any stale staged batches below the cursor.
-                while let Some((&k, _)) = task.staged[s].iter().next() {
-                    if k <= b {
-                        task.staged[s].remove(&k);
-                    } else {
-                        break;
-                    }
-                }
-            }
-            for (stream, chunks) in per_stream.into_iter().enumerate() {
-                if chunks.is_empty() {
-                    continue;
-                }
-                // Round-robin interleave for deterministic replica order.
-                let max_len = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
-                let out = &mut merged[stream];
-                out.reserve(chunks.iter().map(|c| c.len()).sum());
-                for i in 0..max_len {
-                    for c in &chunks {
-                        if let Some(t) = c.get(i) {
-                            out.push(t.clone());
-                        }
-                    }
-                }
-            }
-        }
-
-        // CPU charge.
-        let catching_up = self.tasks[rt].status == Status::CatchingUp;
-        let per_tuple = if catching_up {
-            self.config.costs.replay_per_tuple
-        } else {
-            self.config.costs.process_per_tuple
-        };
-        let work = self.config.costs.batch_overhead + per_tuple * total_in as u64;
-        let node = self.tasks[rt].node;
-        let finish = self.reserve(node, work);
-        self.tasks[rt].cpu.processing += work;
-        if !catching_up {
-            self.tasks[rt].throughput.tuples_in += total_in as u64;
-        }
-
-        // Run the UDF.
-        let mut out = Vec::new();
-        {
-            let task = &mut self.tasks[rt];
-            let op = self.graph.operator_of(task.logical);
-            let ctx = BatchCtx {
-                batch: b,
-                now: finish,
-                task_local: self.graph.local_index(task.logical),
-                parallelism: self.graph.topology().operator(op).parallelism,
-            };
-            let inputs: Vec<InputBatch<'_>> = merged
-                .iter()
-                .enumerate()
-                .map(|(stream, tuples)| InputBatch { stream, tuples })
-                .collect();
-            task.udf
-                .as_mut()
-                .expect("non-source task has a UDF")
-                .on_batch(&ctx, &inputs, &mut out);
-            task.next_batch = b + 1;
-        }
-        if !catching_up {
-            self.tasks[rt].throughput.tuples_out += out.len() as u64;
-        }
-
-        // Recovery completion check: progress vector dominated.
-        if catching_up {
-            if let Some(pre) = self.tasks[rt].pre_failure_progress {
-                if self.tasks[rt].next_batch >= pre {
-                    self.tasks[rt].status = Status::Running;
-                    let logical = self.tasks[rt].logical;
-                    self.mark_recovered(logical.0, finish);
-                }
-            }
-        }
-
-        // Sink collection: active incarnations record directly; muted sink
-        // replicas stash records so a takeover can backfill the gap between
-        // the primary's death and its own activation.
-        if self.graph.is_sink_task(self.tasks[rt].logical) {
-            let record = SinkBatch {
-                task: self.tasks[rt].logical,
-                batch: b,
-                at: finish,
-                tentative: degraded,
-                tuples: out.clone(),
-            };
-            if self.tasks[rt].outputs_enabled {
-                self.sink.push(record);
-            } else {
-                let task = &mut self.tasks[rt];
-                task.pending_sink.push(record);
-                // Bound the stash to the replica sync horizon.
-                if task.pending_sink.len() > 256 {
-                    task.pending_sink.remove(0);
-                }
-            }
-        }
-
-        self.emit(rt, b, out, degraded, finish);
-        self.trim_storm_buffer(rt);
-    }
-
-    /// Storm mode keeps only the replay window (plus a safety margin so a
-    /// recovering task's oldest needed batch is still forwardable by hops
-    /// whose cursors run slightly ahead) in output buffers.
-    fn trim_storm_buffer(&mut self, rt: Rt) {
-        if let Some(w) = self.storm_buffer_batches {
-            let task = &mut self.tasks[rt];
-            let min_keep = task.next_batch.saturating_sub(w + 5);
-            for q in &mut task.out_buffer {
-                while let Some((b, _, _)) = q.front() {
-                    if *b < min_keep {
-                        q.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-            }
-        }
+        self.run_lane(rt, lane::LaneEvent::TryProcess);
     }
 
     // ------------------------------------------------------------------

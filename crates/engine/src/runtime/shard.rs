@@ -1,0 +1,95 @@
+//! The sharded span executor: the one sanctioned concurrency surface of
+//! the deterministic crates (see `ppa-lint` rule D004, which bans ambient
+//! threading everywhere else and names this module as the exception).
+//!
+//! [`run_lanes`] executes independent per-node lane jobs on up to
+//! `shards` scoped worker threads. Determinism does not depend on the
+//! thread schedule: jobs are split into contiguous chunks, every chunk's
+//! results are collected in job order, and the caller merges per-event
+//! effects by global span index afterwards — so the only thing the OS
+//! scheduler can influence is wall-clock time.
+
+use super::lane::LaneEvent;
+use super::{Rt, TaskRt};
+use crate::placement::NodeId;
+use ppa_sim::SimTime;
+use std::thread;
+
+/// One lane's worth of work: the hosting node, its CPU horizon, the task
+/// states moved out of the simulation for the span, and the lane's events
+/// tagged with their global span indices.
+pub(super) struct LaneJob {
+    pub node: NodeId,
+    pub busy: SimTime,
+    /// Task states owned by this lane for the span's duration (moved out
+    /// of `Simulation::tasks`, restored after the span).
+    pub tasks: Vec<(Rt, TaskRt)>,
+    /// `(global span index, slot, event)` in ascending index order.
+    pub events: Vec<(usize, Rt, LaneEvent)>,
+}
+
+/// Runs `jobs` on up to `shards` worker threads and returns their results
+/// in job order. `shards <= 1` (or a single job) runs everything inline
+/// on the calling thread — the byte-identical sequential path with zero
+/// thread overhead.
+pub(super) fn run_lanes<J, R, F>(shards: usize, jobs: Vec<J>, run: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let workers = shards.max(1).min(jobs.len());
+    if workers <= 1 {
+        return jobs.into_iter().map(run).collect();
+    }
+    // Contiguous chunks keep concatenation order == job order.
+    let per_chunk = jobs.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<J>> = Vec::with_capacity(workers);
+    let mut rest = jobs;
+    while rest.len() > per_chunk {
+        let tail = rest.split_off(per_chunk);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let run = &run;
+    let chunk_results: Vec<Vec<R>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(run).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(results) => results,
+                // A worker panic is a bug in lane code (handlers are
+                // written panic-free); surface it on the main thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run_lanes;
+
+    #[test]
+    fn preserves_job_order_at_any_shard_count() {
+        let jobs: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = jobs.iter().map(|j| j * 3).collect();
+        for shards in [0, 1, 2, 4, 8, 64] {
+            let got = run_lanes(shards, jobs.clone(), |j| j * 3);
+            assert_eq!(got, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn runs_inline_for_single_jobs_and_empty_batches() {
+        let got: Vec<usize> = run_lanes(8, Vec::<usize>::new(), |j| j);
+        assert!(got.is_empty());
+        let got = run_lanes(8, vec![41], |j| j + 1);
+        assert_eq!(got, vec![42]);
+    }
+}

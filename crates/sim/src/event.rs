@@ -40,6 +40,18 @@ impl<E> EventQueue<E> {
         Self::default()
     }
 
+    /// A queue pre-sized for about `capacity` simultaneously pending
+    /// events, so steady-state simulations never grow the heap or the
+    /// slot pool mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
     /// Schedules `event` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let slot = match self.free.pop() {
@@ -67,6 +79,12 @@ impl<E> EventQueue<E> {
         let (at, event) = self.slots[key.slot].take().expect("slot must be filled");
         self.free.push(key.slot);
         debug_assert_eq!(at, key.at);
+        debug_assert!(
+            self.free.len() <= self.slots.len(),
+            "free-list ({}) exceeds slot arena ({})",
+            self.free.len(),
+            self.slots.len()
+        );
         Some((at, event))
     }
 
@@ -109,9 +127,24 @@ impl<E> Scheduler<E> {
         Self::default()
     }
 
+    /// A scheduler whose queue is pre-sized for about `capacity`
+    /// simultaneously pending events (one per task is the engine's
+    /// steady state).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Time of the earliest pending event, without firing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Schedules an event at an absolute instant (must not be in the past).
@@ -148,6 +181,40 @@ impl<E> Scheduler<E> {
             Some(t) if t <= deadline => self.next(),
             _ => None,
         }
+    }
+
+    /// Pops a same-instant span of shard-classified events for parallel
+    /// lane execution (see [`crate::lane`]).
+    ///
+    /// Starting from the earliest pending instant `t` (if `t <= deadline`),
+    /// events are popped in global `(time, seq)` order while they stay at
+    /// `t` and `classify` assigns them a shard. The first same-instant
+    /// event `classify` declines (returning `None`) is popped too and
+    /// carried in [`crate::lane::Span::carried`]; the caller must run it
+    /// sequentially *after* the span, which preserves the global order
+    /// because span handlers may only schedule strictly beyond `t`.
+    pub fn pop_span(
+        &mut self,
+        deadline: SimTime,
+        mut classify: impl FnMut(&E) -> Option<crate::lane::ShardId>,
+    ) -> Option<crate::lane::Span<E>> {
+        let at = self.peek_time().filter(|&t| t <= deadline)?;
+        let mut span = crate::lane::Span {
+            at,
+            events: Vec::new(),
+            carried: None,
+        };
+        while self.peek_time() == Some(at) {
+            let Some((_, event)) = self.next() else { break };
+            match classify(&event) {
+                Some(shard) => span.events.push((shard, event)),
+                None => {
+                    span.carried = Some(event);
+                    break;
+                }
+            }
+        }
+        Some(span)
     }
 
     pub fn pending(&self) -> usize {

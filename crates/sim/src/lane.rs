@@ -1,0 +1,228 @@
+//! Same-instant spans and per-shard lanes: the deterministic-merge
+//! building blocks for intra-run parallelism.
+//!
+//! A simulation that wants to execute independent same-instant events in
+//! parallel pops a [`Span`] via [`crate::Scheduler::pop_span`], groups it
+//! into per-shard [`Lane`]s with [`group_lanes`], runs each lane's events
+//! in order (lanes may run concurrently because the caller guarantees
+//! distinct shards share no mutable state), and then applies every event's
+//! side effects back in the span's global order. The canonical sequencing
+//! key is `(time, shard, seq)`: events of one shard keep their relative
+//! `(time, seq)` order inside the lane, and the cross-shard merge replays
+//! effects by ascending global sequence — so the merged execution is
+//! byte-identical to a single-threaded drain at any shard count.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifies a lane: the unit of mutable state that must stay
+/// single-threaded (the engine uses the worker-node index).
+pub type ShardId = usize;
+
+/// A maximal run of same-instant events eligible for lane execution, in
+/// global `(time, seq)` pop order, plus at most one trailing ineligible
+/// event that must run sequentially after the span.
+#[derive(Debug)]
+pub struct Span<E> {
+    /// The instant every event in the span fires at.
+    pub at: SimTime,
+    /// `(shard, event)` pairs in global scheduling order.
+    pub events: Vec<(ShardId, E)>,
+    /// The first same-instant event the classifier declined, already
+    /// popped; the caller runs it after the span's effects are applied.
+    pub carried: Option<E>,
+}
+
+impl<E> Span<E> {
+    /// True when nothing was popped into the parallel portion.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One shard's slice of a span: event payloads tagged with their global
+/// span index, in lane-local (= global) order.
+#[derive(Debug)]
+pub struct Lane<E> {
+    pub shard: ShardId,
+    /// `(global span index, event)` in ascending index order.
+    pub events: Vec<(usize, E)>,
+}
+
+/// Groups a span's events into per-shard lanes, preserving each event's
+/// global index so per-event results can be merged back in span order.
+/// Lanes appear in shard first-appearance order, which only affects work
+/// distribution — never results, which are merged by global index.
+pub fn group_lanes<E>(events: Vec<(ShardId, E)>) -> Vec<Lane<E>> {
+    let mut lanes: Vec<Lane<E>> = Vec::new();
+    let mut index: BTreeMap<ShardId, usize> = BTreeMap::new();
+    for (global, (shard, event)) in events.into_iter().enumerate() {
+        let lane = *index.entry(shard).or_insert_with(|| {
+            lanes.push(Lane {
+                shard,
+                events: Vec::new(),
+            });
+            lanes.len() - 1
+        });
+        lanes[lane].events.push((global, event));
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+    use crate::Scheduler;
+
+    /// Deterministic splitmix64 — the tests' only randomness source.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ev {
+        shard: ShardId,
+        id: u64,
+        eligible: bool,
+    }
+
+    fn random_schedule(seed: u64, n: usize) -> Vec<(SimTime, Ev)> {
+        let mut s = seed;
+        (0..n as u64)
+            .map(|id| {
+                let at = SimTime::ZERO + SimDuration::from_micros(mix(&mut s) % 7);
+                let ev = Ev {
+                    shard: (mix(&mut s) % 5) as ShardId,
+                    id,
+                    eligible: !mix(&mut s).is_multiple_of(4),
+                };
+                (at, ev)
+            })
+            .collect()
+    }
+
+    fn drain_spans(events: &[(SimTime, Ev)]) -> (Vec<Ev>, Vec<Span<Ev>>) {
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        for (at, ev) in events {
+            sched.at(*at, ev.clone());
+        }
+        let mut merged = Vec::new();
+        let mut spans = Vec::new();
+        while let Some(span) =
+            sched.pop_span(SimTime::from_secs(1), |e| e.eligible.then_some(e.shard))
+        {
+            merged.extend(span.events.iter().map(|(_, e)| e.clone()));
+            merged.extend(span.carried.clone());
+            spans.push(span);
+        }
+        (merged, spans)
+    }
+
+    #[test]
+    fn span_drain_equals_sequential_drain_over_random_interleavings() {
+        for seed in 0..50 {
+            let events = random_schedule(seed, 64);
+            // Sequential reference order.
+            let mut sched: Scheduler<Ev> = Scheduler::new();
+            for (at, ev) in &events {
+                sched.at(*at, ev.clone());
+            }
+            let sequential: Vec<Ev> = std::iter::from_fn(|| sched.next().map(|(_, e)| e)).collect();
+            let (merged, spans) = drain_spans(&events);
+            assert_eq!(merged, sequential, "seed {seed}");
+            // Spans are time-ordered and internally same-instant.
+            let mut last = SimTime::ZERO;
+            for span in &spans {
+                assert!(span.at >= last, "seed {seed}: spans out of order");
+                last = span.at;
+                assert!(
+                    span.events.iter().all(|(_, e)| e.eligible),
+                    "seed {seed}: ineligible event inside a span"
+                );
+                assert!(
+                    span.carried.iter().all(|e| !e.eligible),
+                    "seed {seed}: eligible event carried"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_merge_preserves_global_order() {
+        for seed in 50..100 {
+            let events = random_schedule(seed, 64);
+            let (_, spans) = drain_spans(&events);
+            for span in spans {
+                let expected: Vec<Ev> = span.events.iter().map(|(_, e)| e.clone()).collect();
+                let lanes = group_lanes(span.events);
+                // Within a lane: single shard, ascending global index.
+                for lane in &lanes {
+                    assert!(lane.events.iter().all(|(_, e)| e.shard == lane.shard));
+                    assert!(lane.events.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+                // Merging lanes by global index reproduces the span order.
+                let mut merged: Vec<(usize, Ev)> =
+                    lanes.into_iter().flat_map(|l| l.events).collect();
+                merged.sort_by_key(|&(i, _)| i);
+                let merged: Vec<Ev> = merged.into_iter().map(|(_, e)| e).collect();
+                assert_eq!(merged, expected, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn pop_span_respects_deadline_and_carries_first_ineligible(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        let t = SimTime::from_secs(2);
+        let ev = |shard, id, eligible| Ev {
+            shard,
+            id,
+            eligible,
+        };
+        sched.at(t, ev(0, 0, true));
+        sched.at(t, ev(1, 1, false));
+        sched.at(t, ev(2, 2, true));
+        assert!(
+            sched
+                .pop_span(SimTime::from_secs(1), |e| e.eligible.then_some(e.shard))
+                .is_none(),
+            "nothing fires before the deadline"
+        );
+        let span = sched
+            .pop_span(SimTime::from_secs(5), |e| e.eligible.then_some(e.shard))
+            .ok_or("span at t=2")?;
+        assert_eq!(span.at, t);
+        assert_eq!(span.events.len(), 1, "span stops at the ineligible event");
+        assert_eq!(span.carried.as_ref().map(|e| e.id), Some(1));
+        // The remainder of the instant forms the next span.
+        let rest = sched
+            .pop_span(SimTime::from_secs(5), |e| e.eligible.then_some(e.shard))
+            .ok_or("rest of the instant")?;
+        assert_eq!(rest.events.len(), 1);
+        assert_eq!(rest.events[0].1.id, 2);
+        assert!(rest.carried.is_none());
+        assert!(sched.is_idle());
+        Ok(())
+    }
+
+    #[test]
+    fn queue_pre_sizing_does_not_change_order() {
+        let mut a: Scheduler<u64> = Scheduler::new();
+        let mut b: Scheduler<u64> = Scheduler::with_capacity(128);
+        let mut s = 7;
+        for id in 0..64 {
+            let at = SimTime::ZERO + SimDuration::from_micros(mix(&mut s) % 9);
+            a.at(at, id);
+            b.at(at, id);
+        }
+        let da: Vec<u64> = std::iter::from_fn(|| a.next().map(|(_, e)| e)).collect();
+        let db: Vec<u64> = std::iter::from_fn(|| b.next().map(|(_, e)| e)).collect();
+        assert_eq!(da, db);
+    }
+}

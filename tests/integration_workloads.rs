@@ -103,7 +103,8 @@ fn experiments_registry_is_complete() {
             "corr_sweep",
             "placement_sweep",
             "adaptive_sweep",
-            "refail_sweep"
+            "refail_sweep",
+            "scale_sweep"
         ]
     );
 }
