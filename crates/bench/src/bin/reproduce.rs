@@ -3,10 +3,11 @@
 //! report on disk.
 //!
 //! ```text
-//! reproduce [--quick] [--jobs N] [--shards N] [--json PATH]
-//!           [--trace-dir DIR] [--list] [--filter SUBSTR]
+//! reproduce [--quick] [--jobs N] [--shards N] [--seed S] [--swarm N]
+//!           [--json PATH] [--trace-dir DIR] [--list] [--filter SUBSTR]
 //!           [fig07 fig08 fig09 fig10 fig12 fig13 fig14 tentative corr_sweep
-//!            placement_sweep adaptive_sweep refail_sweep scale_sweep | all]
+//!            placement_sweep adaptive_sweep refail_sweep scale_sweep
+//!            chaos_swarm | all]
 //! ```
 //!
 //! Experiments run concurrently on a bounded worker pool (`--jobs`,
@@ -16,15 +17,17 @@
 //! byte-identical for any shard count too. `--trace-dir` records every
 //! driven run's engine-event stream under `DIR/<experiment>/` as JSONL +
 //! Chrome `trace_event` files, themselves byte-identical for any job or
-//! shard count.
+//! shard count. `--seed` re-roots the chaos swarm's scenario stream and
+//! `--swarm` overrides its scenario count (`reproduce --seed S --swarm N
+//! chaos_swarm` replays exactly the swarm a CI failure named).
 
 use ppa_bench::{registry, render_markdown, run_experiments, RunOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: reproduce [--quick] [--jobs N] [--shards N] \
-     [--json PATH] [--trace-dir DIR] [--list] [--filter SUBSTR] \
-     [EXPERIMENT.. | all]";
+     [--seed S] [--swarm N] [--json PATH] [--trace-dir DIR] [--list] \
+     [--filter SUBSTR] [EXPERIMENT.. | all]";
 
 fn main() -> ExitCode {
     let mut opts = RunOptions {
@@ -58,6 +61,28 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 opts.shards = Some(n);
+            }
+            "--seed" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("--seed needs an unsigned 64-bit integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                let Ok(s) = raw.parse::<u64>() else {
+                    eprintln!("--seed needs an unsigned 64-bit integer, got \"{raw}\"\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.seed = Some(s);
+            }
+            "--swarm" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--swarm needs a positive integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("--swarm must be at least 1\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                opts.swarm = Some(n);
             }
             "--json" => {
                 let Some(p) = args.next() else {

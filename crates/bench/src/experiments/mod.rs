@@ -6,6 +6,7 @@
 //! so results are identical for any worker count.
 
 pub mod adaptive_sweep;
+pub mod chaos_swarm;
 pub mod corr_sweep;
 pub mod fig07;
 pub mod fig08;

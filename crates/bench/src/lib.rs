@@ -153,6 +153,13 @@ pub fn registry() -> Vec<Experiment> {
             section: "beyond §VI",
             run: experiments::scale_sweep::run,
         },
+        Experiment {
+            id: "chaos_swarm",
+            description:
+                "Seeded chaos swarm: buggified scenarios checked against engine invariants",
+            section: "beyond §VI",
+            run: experiments::chaos_swarm::run,
+        },
     ]
 }
 
@@ -174,6 +181,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len(), "duplicate experiment ids");
         assert_eq!(ids.first(), Some(&"fig07"));
-        assert_eq!(ids.last(), Some(&"scale_sweep"));
+        assert_eq!(ids.last(), Some(&"chaos_swarm"));
     }
 }

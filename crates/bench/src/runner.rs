@@ -43,6 +43,13 @@ pub struct RunOptions {
     /// setting. Any value yields byte-identical output — this knob only
     /// trades wall-clock time, like `jobs`.
     pub shards: Option<usize>,
+    /// Root seed for seeded experiments (the chaos swarm). `None` keeps
+    /// each experiment's fixed default, so unseeded runs stay
+    /// byte-identical run to run.
+    pub seed: Option<u64>,
+    /// Scenario-count override for the chaos swarm; `None` = the scale
+    /// default (200 quick / 1000 full).
+    pub swarm: Option<usize>,
 }
 
 impl RunOptions {
@@ -240,6 +247,11 @@ pub struct RunCtx {
     /// Engine shard-count override for driven runs (see
     /// [`RunOptions::shards`]).
     pub shards: Option<usize>,
+    /// Root-seed override for seeded experiments (see
+    /// [`RunOptions::seed`]).
+    pub seed: Option<u64>,
+    /// Chaos-swarm scenario-count override (see [`RunOptions::swarm`]).
+    pub swarm: Option<usize>,
     gate: Arc<Gate>,
     logs: Mutex<Vec<RunLog>>,
     /// Where this experiment's trace files land; `None` = tracing off.
@@ -252,6 +264,8 @@ impl RunCtx {
         RunCtx {
             quick,
             shards: None,
+            seed: None,
+            swarm: None,
             gate,
             logs: Mutex::new(Vec::new()),
             trace_dir: None,
@@ -262,6 +276,14 @@ impl RunCtx {
     /// Sets the engine shard-count override for driven runs.
     pub fn with_shards(mut self, shards: Option<usize>) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the root-seed and scenario-count overrides for seeded
+    /// experiments.
+    pub fn with_swarm(mut self, seed: Option<u64>, swarm: Option<usize>) -> Self {
+        self.seed = seed;
+        self.swarm = swarm;
         self
     }
 
@@ -472,13 +494,15 @@ pub fn run_experiments(opts: &RunOptions) -> RunSummary {
                 let progress = opts.progress;
                 let trace_dir = opts.trace_dir.as_ref().map(|d| d.join(e.id));
                 let shards = opts.shards;
+                let (seed, swarm) = (opts.seed, opts.swarm);
                 scope.spawn(move || {
                     if progress {
                         eprintln!(">> running {}: {}", e.id, e.description);
                     }
                     let ctx = RunCtx::new(quick, gate)
                         .with_trace_dir(trace_dir)
-                        .with_shards(shards);
+                        .with_shards(shards)
+                        .with_swarm(seed, swarm);
                     let start = Stopwatch::start();
                     let figures = (e.run)(&ctx);
                     let traced = ctx

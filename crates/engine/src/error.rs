@@ -23,6 +23,11 @@ pub enum EngineError {
     /// again would silently no-op at fire time; the caller almost
     /// certainly meant a different node.
     NodeAlreadyDead { node: NodeId },
+    /// A failure or chaos event is scheduled past the run's declared
+    /// horizon (see `Simulation::set_horizon`). Such an event would never
+    /// fire; silently accepting it hides a mis-built schedule, so the
+    /// injection is rejected up front instead.
+    EventPastHorizon { at: SimTime, horizon: SimTime },
     /// A feed entry (domain kill, generative process) needs the
     /// placement's fault-domain mapping, or the mapping rejected it.
     Placement(PlacementError),
@@ -42,6 +47,10 @@ impl fmt::Display for EngineError {
             EngineError::NodeAlreadyDead { node } => write!(
                 f,
                 "failure event names node {node}, which is already dead at injection time"
+            ),
+            EngineError::EventPastHorizon { at, horizon } => write!(
+                f,
+                "event at {at} is past the run horizon {horizon} and would never fire"
             ),
             EngineError::Placement(e) => write!(f, "{e}"),
         }
@@ -84,6 +93,12 @@ mod tests {
         let e = EngineError::NodeAlreadyDead { node: 7 };
         assert!(e.to_string().contains("node 7"), "{e}");
         assert!(e.to_string().contains("already dead"), "{e}");
+        let e = EngineError::EventPastHorizon {
+            at: SimTime::from_secs(95),
+            horizon: SimTime::from_secs(90),
+        };
+        assert!(e.to_string().contains("95.000s"), "{e}");
+        assert!(e.to_string().contains("horizon 90.000s"), "{e}");
         let e = EngineError::from(PlacementError::NoFaultDomains);
         assert!(e.to_string().contains("fault-domain"), "{e}");
     }

@@ -31,6 +31,7 @@
 //!   health ([`HealthView`]) and respond with typed re-plan / migrate
 //!   actions (§V-C's adaptation, closed over the placement subsystem).
 
+pub mod chaos;
 pub mod config;
 pub mod control;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod runtime;
 pub mod tuple;
 pub mod udf;
 
+pub use chaos::{ChaosError, ChaosKind, ChaosSpec};
 pub use config::{CostModel, EngineConfig, FtMode};
 pub use control::{
     ActionOutcome, ActionRecord, ControlAction, ControlPolicy, DomainHealth, DomainHealthPolicy,

@@ -24,6 +24,7 @@
 // each would add indirection without clarity.
 #![allow(clippy::type_complexity)]
 
+use crate::chaos::{ChaosError, ChaosKind, ChaosSpec};
 use crate::config::{EngineConfig, FtMode};
 use crate::control::{
     ActionOutcome, ActionRecord, ControlAction, ControlPolicy, DomainHealth, DriveReport,
@@ -238,6 +239,10 @@ enum Event {
         logical: usize,
     },
     ProxyTick,
+    /// A registered chaos injection fires (index into `Simulation::chaos`).
+    Chaos {
+        idx: usize,
+    },
 }
 
 /// The simulated cluster.
@@ -307,6 +312,22 @@ pub struct Simulation {
     /// already produced tentative (proxied) output — the first proxy of a
     /// record emits `TentativeResumed`.
     proxied: Vec<bool>,
+    /// Registered chaos injections (buggify points), fired by
+    /// `Event::Chaos`. Empty for every non-chaos run.
+    chaos: Vec<ChaosSpec>,
+    /// Declared run horizon: when set, `inject*` and `inject_chaos`
+    /// reject events scheduled past it (they would never fire).
+    horizon: Option<SimTime>,
+    /// Pending heartbeat-scan drops (armed by `ChaosKind::HeartbeatDrop`).
+    heartbeat_drops: u32,
+    /// Pending one-shot heartbeat delay (armed by
+    /// `ChaosKind::HeartbeatDelay`): the next scan, and the cadence
+    /// behind it, shifts by this much.
+    heartbeat_delay: Option<SimDuration>,
+    /// Per logical task: pending restore stall (armed by
+    /// `ChaosKind::RestoreStall`), consumed by the task's next restore
+    /// completion.
+    restore_stall: Vec<Option<SimDuration>>,
 }
 
 impl Simulation {
@@ -479,6 +500,11 @@ impl Simulation {
             trace_sink: None,
             metrics: MetricsRegistry::new(),
             proxied: vec![false; n],
+            chaos: Vec::new(),
+            horizon: None,
+            heartbeat_drops: 0,
+            heartbeat_delay: None,
+            restore_stall: vec![None; n],
             config,
         };
         sim.bootstrap();
@@ -544,6 +570,14 @@ impl Simulation {
         if spec.at < now {
             return Err(EngineError::EventInPast { at: spec.at, now });
         }
+        if let Some(horizon) = self.horizon {
+            if spec.at > horizon {
+                return Err(EngineError::EventPastHorizon {
+                    at: spec.at,
+                    horizon,
+                });
+            }
+        }
         let n_nodes = self.placement.n_nodes();
         if let Some(&node) = spec.nodes.iter().find(|&&n| n >= n_nodes) {
             return Err(EngineError::NodeOutOfRange { node, n_nodes });
@@ -584,6 +618,85 @@ impl Simulation {
             })?;
         }
         Ok(())
+    }
+
+    /// Declares the run's horizon: from here on, `inject*` and
+    /// [`Simulation::inject_chaos`] reject events scheduled past it with
+    /// [`EngineError::EventPastHorizon`] instead of silently accepting
+    /// events that would never fire. Opt-in — harnesses that extend a
+    /// run with repeated `drive` calls leave it unset.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+    }
+
+    /// Registers a chaos injection (buggify point). The same validation
+    /// discipline as [`Simulation::inject`]: malformed specs — an instant
+    /// before the current virtual time or past the declared horizon, a
+    /// task the query does not have — surface as typed [`ChaosError`]s at
+    /// injection time. A run whose chaos schedule is empty is
+    /// byte-identical to a run made before this subsystem existed.
+    pub fn inject_chaos(&mut self, spec: ChaosSpec) -> Result<(), ChaosError> {
+        let now = self.sched.now();
+        if spec.at < now {
+            return Err(EngineError::EventInPast { at: spec.at, now }.into());
+        }
+        if let Some(horizon) = self.horizon {
+            if spec.at > horizon {
+                return Err(EngineError::EventPastHorizon {
+                    at: spec.at,
+                    horizon,
+                }
+                .into());
+            }
+        }
+        let n_tasks = self.graph.n_tasks();
+        if let Some(task) = spec.kind.task() {
+            if task >= n_tasks {
+                return Err(ChaosError::TaskOutOfRange { task, n_tasks });
+            }
+        }
+        let at = spec.at;
+        self.chaos.push(spec);
+        let idx = self.chaos.len() - 1;
+        self.sched.at(at, Event::Chaos { idx });
+        Ok(())
+    }
+
+    /// Fires one registered chaos injection: arms the targeted buggify
+    /// state (consumed by the heartbeat / restore paths) or perturbs the
+    /// run directly.
+    fn on_chaos(&mut self, idx: usize) {
+        self.metrics.inc("engine.chaos.fired");
+        match self.chaos[idx].kind.clone() {
+            ChaosKind::HeartbeatDrop { scans } => {
+                self.heartbeat_drops = self.heartbeat_drops.saturating_add(scans);
+            }
+            ChaosKind::HeartbeatDelay { by } => {
+                let total = self.heartbeat_delay.unwrap_or(SimDuration::ZERO) + by;
+                self.heartbeat_delay = Some(total);
+            }
+            ChaosKind::HeartbeatDuplicate => {
+                // An extra scan outside the cadence: detection must be
+                // idempotent under it.
+                self.heartbeat_scan();
+            }
+            ChaosKind::RestoreStall { task, by } => {
+                let stall = self.restore_stall[task].unwrap_or(SimDuration::ZERO) + by;
+                self.restore_stall[task] = Some(stall);
+            }
+            ChaosKind::RestoreVoid { task } => {
+                // Losing the restore target mid-load is exactly a death
+                // of the restoring incarnation: the open outage is
+                // re-armed (detection void, setback counted) and the
+                // stale scheduled completion will find the task no
+                // longer `Restoring` and void itself.
+                if self.tasks[task].status == Status::Restoring {
+                    let now = self.sched.now();
+                    self.tasks[task].status = Status::Dead;
+                    self.open_outage(task, now);
+                }
+            }
+        }
     }
 
     /// Runs the simulation until virtual time `until` and returns the report.
@@ -1556,6 +1669,7 @@ impl Simulation {
             Event::RestoreDone { rt } => self.on_restore_done(rt),
             Event::TakeoverDone { logical } => self.on_takeover_done(logical),
             Event::ProxyTick => self.on_proxy_tick(),
+            Event::Chaos { idx } => self.on_chaos(idx),
         }
     }
 
@@ -1831,8 +1945,26 @@ impl Simulation {
     }
 
     fn on_heartbeat(&mut self) {
+        // Buggify: a delayed master shifts this scan (and the cadence
+        // behind it); a dropped scan keeps the cadence but skips the
+        // scan body — detection of any open outage arrives late.
+        if let Some(by) = self.heartbeat_delay.take() {
+            self.sched.after(by, Event::HeartbeatScan);
+            return;
+        }
         self.sched
             .after(self.config.heartbeat_interval, Event::HeartbeatScan);
+        if self.heartbeat_drops > 0 {
+            self.heartbeat_drops -= 1;
+            return;
+        }
+        self.heartbeat_scan();
+    }
+
+    /// The scan body: detect every task whose current outage is still
+    /// undetected and start its recovery. Idempotent, so a duplicated
+    /// scan (`ChaosKind::HeartbeatDuplicate`) is safe by construction.
+    fn heartbeat_scan(&mut self) {
         let now = self.sched.now();
         for t in 0..self.graph.n_tasks() {
             if self.tasks[t].status != Status::Dead {
@@ -1953,6 +2085,15 @@ impl Simulation {
     }
 
     fn on_restore_done(&mut self, rt: Rt) {
+        // Buggify: a stalled state load hangs the completion; the task
+        // stays `Restoring` (and its outage open) for the stall.
+        if self.tasks[rt].status == Status::Restoring {
+            let logical = self.tasks[rt].logical.0;
+            if let Some(by) = self.restore_stall[logical].take() {
+                self.sched.after(by, Event::RestoreDone { rt });
+                return;
+            }
+        }
         // A restore whose target died again mid-load is void — the open
         // outage was re-armed and the re-detection path owns the task now
         // (resurrecting it here would run it on a dead node).

@@ -241,6 +241,9 @@ impl FaultDomainTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
+
+    type TestResult = Result<(), Box<dyn Error>>;
 
     #[test]
     fn regular_tree_shape_and_assignment() {
@@ -275,17 +278,18 @@ mod tests {
     }
 
     #[test]
-    fn domain_lookup_and_siblings() {
+    fn domain_lookup_and_siblings() -> TestResult {
         let nodes: Vec<NodeId> = (0..8).collect();
         let t = FaultDomainTree::regular(&["cluster", "zone", "rack"], &[2, 2], &nodes);
-        let rack = t.domain_of(0).unwrap();
+        let rack = t.domain_of(0).ok_or("node 0 lives in a rack")?;
         assert_eq!(t.level_of(rack), 2);
         assert_eq!(t.siblings_of(rack).len(), 1, "one sibling rack in the zone");
-        let zone = t.domain_of_at_level(0, 1).unwrap();
+        let zone = t.domain_of_at_level(0, 1).ok_or("node 0 lives in a zone")?;
         assert_eq!(t.level_of(zone), 1);
         assert!(t.nodes_under(zone).contains(&0));
         assert!(t.siblings_of(t.root()).is_empty());
         assert_eq!(t.domain_of(99), None);
+        Ok(())
     }
 
     #[test]

@@ -199,6 +199,9 @@ impl FailureTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
+
+    type TestResult = Result<(), Box<dyn Error>>;
 
     #[test]
     fn push_normalizes() {
@@ -226,24 +229,26 @@ mod tests {
     }
 
     #[test]
-    fn text_round_trips() {
+    fn text_round_trips() -> TestResult {
         let mut t = FailureTrace::new();
         t.push(SimTime::from_secs(40), vec![4, 5, 6]);
         t.push(SimTime::from_micros(40_000_001), vec![9]);
         t.push(SimTime::from_secs(40), vec![4, 5, 6]); // duplicate kept
         let text = t.to_text();
         assert!(text.starts_with("ppa-faults/1\n"));
-        let back = FailureTrace::from_text(&text).unwrap();
+        let back = FailureTrace::from_text(&text)?;
         assert_eq!(back, t);
         assert_eq!(back.to_text(), text, "serialization is canonical");
+        Ok(())
     }
 
     #[test]
-    fn from_text_tolerates_comments_and_order() {
+    fn from_text_tolerates_comments_and_order() -> TestResult {
         let text = "# a scenario\nppa-faults/1\n\n50000000 9\n# mid comment\n40000000 4,5\n";
-        let t = FailureTrace::from_text(text).unwrap();
+        let t = FailureTrace::from_text(text)?;
         assert_eq!(t.len(), 2);
         assert_eq!(t.events()[0].nodes, vec![4, 5]);
+        Ok(())
     }
 
     #[test]

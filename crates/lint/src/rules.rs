@@ -79,13 +79,14 @@ pub fn registry() -> Vec<Rule> {
 }
 
 /// The crates whose behaviour must be bit-reproducible.
-const DETERMINISTIC_CRATES: [&str; 6] = [
+const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/core/src/",
     "crates/sim/src/",
     "crates/faults/src/",
     "crates/engine/src/",
     "crates/obs/src/",
     "crates/workloads/src/",
+    "crates/chaos/src/",
 ];
 
 fn in_deterministic_crate(path: &str) -> bool {

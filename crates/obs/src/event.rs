@@ -121,6 +121,13 @@ pub trait TraceSink: Send {
     /// recorded instants (completions are scheduled at CPU horizons);
     /// emission order is deterministic, time order is not guaranteed.
     fn record(&mut self, at: SimTime, event: &EngineEvent);
+
+    /// Drains the buffered events, when this sink buffers any — how a
+    /// checker gets a run's stream back through a `Box<dyn TraceSink>`
+    /// without downcasting. Streaming sinks keep the default (empty).
+    fn take_events(&mut self) -> Vec<(SimTime, EngineEvent)> {
+        Vec::new()
+    }
 }
 
 /// The buffering sink: keeps every `(instant, event)` pair in emission
@@ -139,6 +146,10 @@ impl VecSink {
 impl TraceSink for VecSink {
     fn record(&mut self, at: SimTime, event: &EngineEvent) {
         self.events.push((at, event.clone()));
+    }
+
+    fn take_events(&mut self) -> Vec<(SimTime, EngineEvent)> {
+        std::mem::take(&mut self.events)
     }
 }
 

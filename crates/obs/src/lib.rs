@@ -25,10 +25,12 @@
 
 pub mod event;
 pub mod export;
+pub mod invariant;
 pub mod metrics;
 pub mod timeline;
 
 pub use event::{EngineEvent, TraceSink, VecSink};
 pub use export::{to_chrome_trace, to_jsonl};
+pub use invariant::{check_stream, StreamCheck, Violation};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use timeline::{render_timeline, TimelineConfig};

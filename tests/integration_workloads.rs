@@ -104,7 +104,8 @@ fn experiments_registry_is_complete() {
             "placement_sweep",
             "adaptive_sweep",
             "refail_sweep",
-            "scale_sweep"
+            "scale_sweep",
+            "chaos_swarm"
         ]
     );
 }
