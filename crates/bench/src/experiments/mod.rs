@@ -6,6 +6,7 @@
 //! so results are identical for any worker count.
 
 pub mod adaptive_sweep;
+pub mod approx_sweep;
 pub mod chaos_swarm;
 pub mod corr_sweep;
 pub mod fig07;
@@ -41,6 +42,14 @@ pub enum Strategy {
     Storm,
     /// A partially active plan over passive checkpoints.
     Ppa { plan: TaskSet, interval_secs: u64 },
+    /// Divergence-bounded approximate backups with lossy recovery.
+    /// `interval_secs` only matters at `error_bound = 0`, where the mode
+    /// normalizes to exact checkpointing at that interval (the parity
+    /// anchor of the family).
+    Approximate {
+        interval_secs: u64,
+        error_bound: u64,
+    },
 }
 
 impl Strategy {
@@ -59,6 +68,10 @@ impl Strategy {
             } => {
                 format!("PPA-{}t-{}s", plan.len(), interval_secs)
             }
+            Strategy::Approximate {
+                interval_secs,
+                error_bound,
+            } => format!("Approx-{interval_secs}s-e{error_bound}"),
         }
     }
 
@@ -88,6 +101,16 @@ impl Strategy {
                 interval_secs,
             } => {
                 cfg.mode = FtMode::ppa(plan.clone(), SimDuration::from_secs(*interval_secs));
+            }
+            Strategy::Approximate {
+                interval_secs,
+                error_bound,
+            } => {
+                cfg.mode = FtMode::approximate(
+                    n_tasks,
+                    SimDuration::from_secs(*interval_secs),
+                    *error_bound,
+                );
             }
         }
         cfg
@@ -330,5 +353,13 @@ mod tests {
             "Checkpoint-15s"
         );
         assert_eq!(Strategy::Storm.label(), "Storm");
+        assert_eq!(
+            Strategy::Approximate {
+                interval_secs: 5,
+                error_bound: 2000
+            }
+            .label(),
+            "Approx-5s-e2000"
+        );
     }
 }

@@ -154,6 +154,13 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::scale_sweep::run,
         },
         Experiment {
+            id: "approx_sweep",
+            description:
+                "Divergence-bounded approximate recovery vs exact checkpointing: latency for fidelity",
+            section: "beyond §VI",
+            run: experiments::approx_sweep::run,
+        },
+        Experiment {
             id: "chaos_swarm",
             description:
                 "Seeded chaos swarm: buggified scenarios checked against engine invariants",

@@ -607,7 +607,8 @@ mod tests {
                 "placement_sweep",
                 "adaptive_sweep",
                 "refail_sweep",
-                "scale_sweep"
+                "scale_sweep",
+                "approx_sweep"
             ],
             "registry order preserved"
         );

@@ -57,6 +57,7 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "adaptive_sweep",
         "refail_sweep",
         "scale_sweep",
+        "approx_sweep",
     ] {
         let result = summary.results.iter().find(|r| r.id == id).unwrap();
         assert!(
@@ -205,6 +206,65 @@ fn every_registry_entry_runs_quick_and_yields_figures() {
         "domain-health must dominate static inside the re-failure window: \
          static={static_w2:?} adaptive={adaptive_w2:?}"
     );
+
+    // The approx sweep's headline claim: in at least one swept cell an
+    // approximate strategy strictly beats exact checkpointing on recovery
+    // completion latency, and that same cell carries a quantified
+    // fidelity cost — an engine-recorded floor strictly below 1.0.
+    let sweep = summary
+        .results
+        .iter()
+        .find(|r| r.id == "approx_sweep")
+        .unwrap();
+    let latency = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "approx_sweep")
+        .expect("latency figure present");
+    let fidelity = sweep
+        .figures
+        .iter()
+        .find(|f| f.id == "approx_sweep_fidelity")
+        .expect("fidelity figure present");
+    let checkpoint = &latency
+        .series
+        .iter()
+        .find(|s| s.label == "Checkpoint-5s")
+        .expect("Checkpoint-5s series missing")
+        .points;
+    let approx_labels: Vec<&str> = latency
+        .series
+        .iter()
+        .map(|s| s.label.as_str())
+        .filter(|l| l.starts_with("Approx-"))
+        .collect();
+    assert!(!approx_labels.is_empty(), "no approximate series swept");
+    let won = approx_labels.iter().any(|label| {
+        let approx = &latency
+            .series
+            .iter()
+            .find(|s| s.label == *label)
+            .unwrap()
+            .points;
+        let floors = &fidelity
+            .series
+            .iter()
+            .find(|s| s.label == format!("floor ({label})"))
+            .unwrap_or_else(|| panic!("floor series missing for {label}"))
+            .points;
+        assert_eq!(approx.len(), checkpoint.len());
+        assert_eq!(floors.len(), checkpoint.len());
+        checkpoint
+            .iter()
+            .zip(approx)
+            .zip(floors)
+            .any(|(((_, cp), (_, ap)), (_, floor))| ap + 1e-9 < *cp && *floor < 1.0 - 1e-9)
+    });
+    assert!(
+        won,
+        "no cell where an approximate strategy beat Checkpoint-5s on completion \
+         latency at a recorded fidelity cost: {latency:?} {fidelity:?}"
+    );
 }
 
 #[test]
@@ -254,6 +314,7 @@ fn jobs_1_and_jobs_4_produce_identical_serialized_output() {
         "placement_sweep".into(),
         "adaptive_sweep".into(),
         "refail_sweep".into(),
+        "approx_sweep".into(),
     ];
     let serial = run_experiments(&RunOptions {
         only: only.clone(),

@@ -60,6 +60,7 @@ pub fn check_run(input: &CheckInput<'_>) -> Vec<Violation> {
     check_metrics_agreement(input, &mut out);
     check_sink_exactly_once(input, &mut out);
     check_closed_or_explained(input, &mut out);
+    check_fidelity_floor(input, &mut out);
     out
 }
 
@@ -261,6 +262,14 @@ fn check_metrics_agreement(input: &CheckInput<'_>, out: &mut Vec<Violation>) {
             EngineEvent::TentativeResumed { .. } => {
                 *counts.entry("engine.tentative.resumed").or_default() += 1;
             }
+            EngineEvent::ApproxBackupShipped { .. } => {
+                *counts.entry("engine.approx.backups_shipped").or_default() += 1;
+            }
+            EngineEvent::ApproxRecovery { divergence, .. } => {
+                *counts
+                    .entry("engine.approx.divergence_at_recovery")
+                    .or_default() += divergence;
+            }
             _ => {}
         }
     }
@@ -343,6 +352,64 @@ fn check_closed_or_explained(input: &CheckInput<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+/// Fidelity-floor accounting: the stream's `ApproxRecovery` events and
+/// the report's `fidelity_floor` records must tell the same story — a
+/// floor is in permille (≤ 1000), every recorded floor has exactly one
+/// matching lossy-recovery event for its task (same values, same order),
+/// and a lossy recovery never leaves the report floorless. This is the
+/// invariant that catches a voided/stalled restore double-counting an
+/// approximate recovery into one outage record.
+fn check_fidelity_floor(input: &CheckInput<'_>, out: &mut Vec<Violation>) {
+    let end = input.report.ended_at;
+    let mut event_floors: BTreeMap<usize, Vec<u16>> = BTreeMap::new();
+    for (at, event) in input.events {
+        if let EngineEvent::ApproxRecovery {
+            task,
+            fidelity_floor,
+            ..
+        } = event
+        {
+            if *fidelity_floor > 1000 {
+                out.push(violation(
+                    "fidelity_floor_out_of_range",
+                    *at,
+                    Some(*task),
+                    format!("ApproxRecovery floor {fidelity_floor}‰ exceeds 1000"),
+                ));
+            }
+            event_floors.entry(*task).or_default().push(*fidelity_floor);
+        }
+    }
+    for outages in &input.report.outages {
+        let task = outages.task.0;
+        let recorded: Vec<u16> = outages
+            .records
+            .iter()
+            .filter_map(|r| r.fidelity_floor)
+            .collect();
+        let witnessed = event_floors.remove(&task).unwrap_or_default();
+        if recorded != witnessed {
+            out.push(violation(
+                "fidelity_floor_mismatch",
+                end,
+                Some(task),
+                format!("report floors {recorded:?} but ApproxRecovery events say {witnessed:?}"),
+            ));
+        }
+    }
+    for (task, witnessed) in event_floors {
+        out.push(violation(
+            "fidelity_floor_mismatch",
+            end,
+            Some(task),
+            format!(
+                "{} ApproxRecovery events but no outage history",
+                witnessed.len()
+            ),
+        ));
+    }
+}
+
 /// Convenience used by tests and the shrinker's predicate: whether the
 /// kill trace + schedule pair still violates when replayed.
 pub fn trace_of(resolved: &ResolvedChaos) -> &FailureTrace {
@@ -406,6 +473,92 @@ mod tests {
         let input = empty_input(&report, &events, &metrics, &resolved);
         let rules: Vec<&str> = check_run(&input).iter().map(|v| v.invariant).collect();
         assert!(rules.contains(&"trace_replay_mismatch"), "{rules:?}");
+    }
+
+    #[test]
+    fn floor_without_a_recovery_event_is_a_mismatch() {
+        use ppa_engine::{OutageRecord, TaskOutages};
+        let mut report = RunReport::default();
+        report.outages.push(TaskOutages {
+            task: ppa_core::model::TaskIndex(3),
+            records: vec![OutageRecord {
+                via_replica: false,
+                failed_at: SimTime::from_secs(20),
+                detected_at: SimTime::from_secs(25),
+                recovered_at: Some(SimTime::from_secs(26)),
+                fidelity_floor: Some(700),
+            }],
+        });
+        // One opened/closed pair so the lifecycle checks stay quiet; the
+        // floor on the record has no ApproxRecovery witness.
+        let events = vec![
+            (
+                SimTime::from_secs(20),
+                EngineEvent::OutageOpened {
+                    task: 3,
+                    refail: false,
+                },
+            ),
+            (
+                SimTime::from_secs(25),
+                EngineEvent::OutageDetected { task: 3 },
+            ),
+            (SimTime::from_secs(26), EngineEvent::RestoreDone { task: 3 }),
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![
+                ("engine.outages.opened", 1),
+                ("engine.outages.detected", 1),
+                ("engine.recoveries.via_restore", 1),
+            ],
+            ..MetricsSnapshot::default()
+        };
+        let resolved = ResolvedChaos {
+            trace: FailureTrace::new(),
+            schedule: ChaosSchedule::new(),
+            suppressed_kills: 0,
+        };
+        let input = empty_input(&report, &events, &metrics, &resolved);
+        let check = check_run(&input);
+        assert!(
+            check
+                .iter()
+                .any(|v| v.invariant == "fidelity_floor_mismatch"),
+            "{check:?}"
+        );
+
+        // Adding the witnessing event (and its divergence counter)
+        // reconciles the two layers.
+        let mut events = events;
+        events.insert(
+            2,
+            (
+                SimTime::from_secs(26),
+                EngineEvent::ApproxRecovery {
+                    task: 3,
+                    divergence: 42,
+                    skipped_batches: 4,
+                    fidelity_floor: 700,
+                },
+            ),
+        );
+        let metrics = MetricsSnapshot {
+            counters: vec![
+                ("engine.outages.opened", 1),
+                ("engine.outages.detected", 1),
+                ("engine.recoveries.via_restore", 1),
+                ("engine.approx.divergence_at_recovery", 42),
+            ],
+            ..MetricsSnapshot::default()
+        };
+        let input = empty_input(&report, &events, &metrics, &resolved);
+        let check = check_run(&input);
+        assert!(
+            !check
+                .iter()
+                .any(|v| v.invariant == "fidelity_floor_mismatch"),
+            "{check:?}"
+        );
     }
 
     #[test]

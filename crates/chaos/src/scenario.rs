@@ -60,9 +60,15 @@ impl StrategyTag {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModeTag {
     Active,
-    Checkpoint { interval_secs: u64 },
+    Checkpoint {
+        interval_secs: u64,
+    },
     PpaHalf,
     Storm,
+    /// Divergence-bounded approximate backups with lossy recovery.
+    Approx {
+        error_bound: u64,
+    },
 }
 
 impl ModeTag {
@@ -72,6 +78,7 @@ impl ModeTag {
             ModeTag::Checkpoint { .. } => "checkpoint",
             ModeTag::PpaHalf => "ppa",
             ModeTag::Storm => "storm",
+            ModeTag::Approx { .. } => "approx",
         }
     }
 }
@@ -147,13 +154,20 @@ impl ScenarioParams {
             1 => StrategyTag::Packed,
             _ => StrategyTag::DomainSpread,
         };
-        let mode = match rng.gen_range(0..4u32) {
+        let mode = match rng.gen_range(0..5u32) {
             0 => ModeTag::Active,
             1 => ModeTag::Checkpoint {
                 interval_secs: rng.gen_range(2..=5u64),
             },
             2 => ModeTag::PpaHalf,
-            _ => ModeTag::Storm,
+            3 => ModeTag::Storm,
+            // Bounds spanning "ships every couple of batches" (the rate
+            // floor is 40 tuples/batch) to "ships rarely" — the lossy
+            // recovery and floor bookkeeping get exercised across the
+            // whole cadence range.
+            _ => ModeTag::Approx {
+                error_bound: rng.gen_range(100..=4_000u64),
+            },
         };
         let process = match rng.gen_range(0..4u32) {
             0 => ProcessTag::Independent,
@@ -298,6 +312,9 @@ pub fn build(params: &ScenarioParams, shards: usize) -> Result<BuiltScenario, Sc
         ModeTag::Storm => FtMode::SourceReplay {
             buffer: SimDuration::from_secs(params.window_batches + 5),
         },
+        ModeTag::Approx { error_bound } => {
+            FtMode::approximate(n_tasks, SimDuration::from_secs(5), error_bound)
+        }
     };
 
     // The failure process covers [20 s, 45 s) of the 60 s horizon,
@@ -381,6 +398,17 @@ mod tests {
         assert!(params
             .iter()
             .any(|p| matches!(p.mode, ModeTag::Checkpoint { .. })));
+        assert!(params
+            .iter()
+            .any(|p| matches!(p.mode, ModeTag::Approx { .. })));
+        // Every drawn approximate bound is positive: bound 0 is the
+        // parity anchor (normalizes to exact checkpointing) and belongs
+        // to the differential suite, not the swarm.
+        for p in &params {
+            if let ModeTag::Approx { error_bound } = p.mode {
+                assert!(error_bound > 0);
+            }
+        }
     }
 
     #[test]

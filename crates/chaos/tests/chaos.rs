@@ -167,6 +167,98 @@ fn restore_void_causes_a_setback_then_recovery() -> TestResult {
 }
 
 #[test]
+fn voided_approximate_restore_rearms_without_double_counting_the_floor() -> TestResult {
+    // A stalled restore of an approximate-mode task is voided mid-load:
+    // the outage re-arms (setback), the voided completion must NOT run
+    // the lossy jump (no ApproxRecovery, no floor), and the re-armed
+    // restore closes the outage with exactly one floor on the record.
+    let mut p = params();
+    p.mode = ModeTag::Approx { error_bound: 100 };
+    let built = build(&p, 1)?;
+    let mid = 2; // first non-source task (sources recover exactly)
+    let kill_node = built.placement.primary[mid];
+    let mut sim = Simulation::new(&built.query, built.placement.clone(), built.config.clone());
+    sim.set_horizon(built.horizon);
+    sim.set_trace_sink(Box::new(VecSink::new()));
+    sim.inject_chaos(ChaosSpec {
+        at: SimTime::from_secs(20),
+        kind: ChaosKind::RestoreStall {
+            task: mid,
+            by: SimDuration::from_secs(10),
+        },
+    })?;
+    sim.inject_chaos(ChaosSpec {
+        at: SimTime::from_secs(38),
+        kind: ChaosKind::RestoreVoid { task: mid },
+    })?;
+    let feed = FaultFeed::from_trace(FailureTrace::once(SimTime::from_secs(30), vec![kill_node]));
+    let driven = sim.drive(&feed, &mut StaticPolicy, built.horizon)?;
+    let events = sim
+        .take_trace_sink()
+        .map(|mut s| s.take_events())
+        .unwrap_or_default();
+
+    let setbacks = events
+        .iter()
+        .filter(|(_, e)| matches!(e, EngineEvent::RecoverySetback { task } if *task == mid))
+        .count();
+    assert!(setbacks >= 1, "the void must re-arm the open outage");
+    let voided = events
+        .iter()
+        .filter(|(_, e)| matches!(e, EngineEvent::RestoreVoided { task } if *task == mid))
+        .count();
+    assert!(voided >= 1, "the stalled completion must observe the void");
+    let lossy: Vec<(u64, u16)> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            EngineEvent::ApproxRecovery {
+                task,
+                divergence,
+                fidelity_floor,
+                ..
+            } if *task == mid => Some((*divergence, *fidelity_floor)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        lossy.len(),
+        1,
+        "exactly one lossy recovery despite the voided restore: {lossy:?}"
+    );
+    let outage = driven
+        .report
+        .outages
+        .iter()
+        .find(|o| o.task.0 == mid)
+        .ok_or("mid task has no outage record")?;
+    let floors: Vec<u16> = outage
+        .records
+        .iter()
+        .filter_map(|r| r.fidelity_floor)
+        .collect();
+    assert_eq!(
+        floors,
+        vec![lossy[0].1],
+        "the record carries the single lossy recovery's floor, once"
+    );
+    assert!(
+        outage
+            .records
+            .last()
+            .is_some_and(|r| r.recovered_at.is_some()),
+        "the re-armed outage must still recover within the horizon"
+    );
+    assert_eq!(
+        driven
+            .metrics
+            .counter("engine.approx.divergence_at_recovery"),
+        lossy[0].0,
+        "metered divergence equals the single event's divergence"
+    );
+    Ok(())
+}
+
+#[test]
 fn zero_chaos_run_is_byte_identical_to_the_plain_fault_path() -> TestResult {
     let built = build(&params(), 1)?;
     let kill = FailureSpec {

@@ -36,6 +36,7 @@
 //! assert!((0.0..=1.0).contains(&of));
 //! ```
 
+pub mod backup;
 pub mod error;
 pub mod fidelity;
 pub mod mctree;
@@ -44,6 +45,7 @@ pub mod planner;
 pub mod random;
 pub mod rates;
 
+pub use backup::BackupCadence;
 pub use error::{CoreError, Result};
 pub use fidelity::FidelityModel;
 pub use mctree::{enumerate_mc_trees, enumerate_mc_trees_with, McTreeLimits};

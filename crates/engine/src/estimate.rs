@@ -114,6 +114,18 @@ pub fn storm_replay(
     Some(SimDuration::from_secs_f64(t))
 }
 
+/// Expected approximate (lossy) recovery latency: load the last shipped
+/// snapshot, jump to the frontier — **no replay term at all**, which is
+/// the family's whole advantage. The divergence cadence
+/// ([`ppa_core::BackupCadence::Divergence`]) governs how *stale* that
+/// snapshot is, not how long the restore takes; the staleness resurfaces
+/// as forfeited fidelity, not latency. Always feasible: with no replay
+/// there is no `k < 1` admission bound.
+pub fn approximate_recovery(costs: &CostModel, profile: &TaskProfile) -> SimDuration {
+    let load_secs = profile.state_tuples * costs.state_load_per_tuple.as_micros() as f64 / 1e6;
+    SimDuration::from_secs_f64(load_secs.max(0.0)) + costs.batch_overhead
+}
+
 /// The largest input rate a task can catch up from at all (k < 1) under
 /// this cost model — the admission bound for passive recovery.
 pub fn max_recoverable_rate(costs: &CostModel) -> f64 {
@@ -259,6 +271,27 @@ mod tests {
         let cp5 = checkpoint_recovery(&costs, &profile, SimDuration::from_secs(5)).unwrap();
         let cp30 = checkpoint_recovery(&costs, &profile, SimDuration::from_secs(30)).unwrap();
         assert!(active < cp5 && cp5 < cp30);
+        // Approximate sits between: the same restore load, none of the
+        // replay — and unlike the exact estimate it never goes infeasible.
+        let approx = approximate_recovery(&costs, &profile);
+        assert!(active < approx && approx < cp5);
+        let over = TaskProfile::windowed(max_recoverable_rate(&costs) * 1.2, 1.0, 10.0);
+        assert!(checkpoint_recovery(&costs, &over, SimDuration::from_secs(5)).is_none());
+        assert!(approximate_recovery(&costs, &over) > SimDuration::ZERO);
+        // The planner-side cadence model agrees on the CPU side: matched
+        // drift makes the families equally expensive, lower drift makes
+        // approximate strictly cheaper.
+        let matched = ppa_core::BackupCadence::Divergence {
+            error_bound: 20_000,
+            drift_rate_per_sec: profile.input_rate,
+        };
+        let timer = ppa_core::BackupCadence::Interval { interval_secs: 5.0 };
+        assert!((matched.backups_per_sec() - timer.backups_per_sec()).abs() < 1e-9);
+        let cold = ppa_core::BackupCadence::Divergence {
+            error_bound: 20_000,
+            drift_rate_per_sec: profile.input_rate / 10.0,
+        };
+        assert!(cold.backups_per_sec() < timer.backups_per_sec());
         // Storm grows with window and depth.
         let s10 = storm_replay(&costs, &profile, SimDuration::from_secs(10), 2).unwrap();
         let s30 = storm_replay(&costs, &profile, SimDuration::from_secs(30), 2).unwrap();

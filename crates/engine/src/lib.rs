@@ -31,6 +31,7 @@
 //!   health ([`HealthView`]) and respond with typed re-plan / migrate
 //!   actions (§V-C's adaptation, closed over the placement subsystem).
 
+pub mod approx;
 pub mod chaos;
 pub mod config;
 pub mod control;
@@ -44,6 +45,7 @@ pub mod runtime;
 pub mod tuple;
 pub mod udf;
 
+pub use approx::DivergenceModel;
 pub use chaos::{ChaosError, ChaosKind, ChaosSpec};
 pub use config::{CostModel, EngineConfig, FtMode};
 pub use control::{
@@ -52,7 +54,8 @@ pub use control::{
 };
 pub use error::EngineError;
 pub use estimate::{
-    active_takeover, checkpoint_recovery, max_recoverable_rate, storm_replay, TaskProfile,
+    active_takeover, approximate_recovery, checkpoint_recovery, max_recoverable_rate, storm_replay,
+    TaskProfile,
 };
 pub use feed::FaultFeed;
 pub use placement::{

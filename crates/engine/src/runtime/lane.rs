@@ -18,7 +18,7 @@
 //! instead of unwinding across the executor.
 
 use super::{Event, Msg, Rt, Status, TaskRt};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FtMode};
 use crate::report::SinkBatch;
 use crate::tuple::{route, Tuple};
 use crate::udf::{BatchCtx, InputBatch};
@@ -505,6 +505,19 @@ fn process_batch(
                 task.status = Status::Running;
                 fx.recovered.push((task.logical.0, finish));
             }
+        }
+    }
+
+    // Approximate mode: every absorbed input tuple is one unit of state
+    // drift. The first batch that pushes the drift across the error
+    // bound arms a backup ship at this batch's CPU finish; replicas and
+    // catch-up replay never ship (a replica's primary owns the drift,
+    // and catch-up reprocesses tuples already counted).
+    if let FtMode::Approximate { error_bound, .. } = cx.config.mode {
+        if !task.is_replica && !catching_up && task.divergence.absorb(total_in as u64, error_bound)
+        {
+            fx.scheduled
+                .push((finish, Event::ApproxShip { rt: task.logical.0 }));
         }
     }
 

@@ -133,6 +133,10 @@ struct TaskRt {
     pending_sink: Vec<SinkBatch>,
     cpu: CpuStats,
     throughput: crate::report::TaskThroughput,
+    /// Approximate mode: drift since the last shipped backup (idle — all
+    /// zeros — under every other mode). Lane-local like the rest of the
+    /// task state.
+    divergence: crate::approx::DivergenceModel,
 }
 
 /// The per-stream `(start, len)` spans of a task's out-target list
@@ -177,6 +181,7 @@ impl TaskRt {
             pending_sink: Vec::new(),
             cpu: CpuStats::default(),
             throughput: crate::report::TaskThroughput::default(),
+            divergence: crate::approx::DivergenceModel::default(),
         }
     }
 
@@ -239,6 +244,12 @@ enum Event {
         logical: usize,
     },
     ProxyTick,
+    /// Approximate mode: a task's drift crossed the error bound during
+    /// batch processing; ship its state backup (staged by the lane, run
+    /// solo because upstream buffer trims are global).
+    ApproxShip {
+        rt: Rt,
+    },
     /// A registered chaos injection fires (index into `Simulation::chaos`).
     Chaos {
         idx: usize,
@@ -328,6 +339,14 @@ pub struct Simulation {
     /// `ChaosKind::RestoreStall`), consumed by the task's next restore
     /// completion.
     restore_stall: Vec<Option<SimDuration>>,
+    /// `FtMode::Approximate`'s error bound; `None` under every exact
+    /// mode. Doubles as the gate on approximate-only metric flushes so
+    /// exact runs stay byte-identical.
+    approx_bound: Option<u64>,
+    /// Portion of the tasks' skipped-backup counts already flushed into
+    /// the metrics registry (same repeated-`drive` contract as
+    /// `events_metered`).
+    approx_skipped_metered: u64,
 }
 
 impl Simulation {
@@ -382,7 +401,13 @@ impl Simulation {
                 plan,
                 checkpoint_interval,
             } => (Some(plan.clone()), *checkpoint_interval),
+            // Approximate ships backups on divergence, never on a timer.
+            FtMode::Approximate { plan, .. } => (Some(plan.clone()), None),
             _ => (None, None),
+        };
+        let approx_bound = match &config.mode {
+            FtMode::Approximate { error_bound, .. } => Some(*error_bound),
+            _ => None,
         };
         let storm_buffer_batches = match &config.mode {
             FtMode::SourceReplay { buffer } => Some(config.batches_in(*buffer).max(1)),
@@ -419,6 +444,7 @@ impl Simulation {
                 pending_sink: Vec::new(),
                 cpu: CpuStats::default(),
                 throughput: crate::report::TaskThroughput::default(),
+                divergence: crate::approx::DivergenceModel::default(),
             }
         };
 
@@ -505,6 +531,8 @@ impl Simulation {
             heartbeat_drops: 0,
             heartbeat_delay: None,
             restore_stall: vec![None; n],
+            approx_bound,
+            approx_skipped_metered: 0,
             config,
         };
         sim.bootstrap();
@@ -842,6 +870,18 @@ impl Simulation {
             self.tuples_moved - self.tuples_metered,
         );
         self.tuples_metered = self.tuples_moved;
+        // Approximate-only: flush the tasks' skipped-backup tallies. Gated
+        // on the mode so exact runs never grow a zero-valued extra metric
+        // (their DriveReports must stay byte-identical to pre-approximate
+        // builds).
+        if self.approx_bound.is_some() {
+            let skipped: u64 = self.tasks.iter().map(|t| t.divergence.skipped()).sum();
+            self.metrics.add(
+                "engine.approx.backups_skipped",
+                skipped - self.approx_skipped_metered,
+            );
+            self.approx_skipped_metered = skipped;
+        }
         Ok(DriveReport {
             report: self.report_at(until),
             actions,
@@ -929,6 +969,13 @@ impl Simulation {
                 self.metrics.inc("engine.recoveries.via_replica");
             }
             EngineEvent::TentativeResumed { .. } => self.metrics.inc("engine.tentative.resumed"),
+            EngineEvent::ApproxBackupShipped { .. } => {
+                self.metrics.inc("engine.approx.backups_shipped");
+            }
+            EngineEvent::ApproxRecovery { divergence, .. } => {
+                self.metrics
+                    .add("engine.approx.divergence_at_recovery", *divergence);
+            }
             EngineEvent::ReplanAdopted { plan_size, .. } => {
                 self.metrics.inc("engine.control.replans");
                 self.metrics
@@ -995,6 +1042,7 @@ impl Simulation {
                     failed_at: now,
                     detected_at: SimTime::MAX,
                     recovered_at: None,
+                    fidelity_floor: None,
                 });
                 (false, records.len() > 1)
             }
@@ -1108,7 +1156,10 @@ impl Simulation {
         at: SimTime,
         control_cpu: &mut SimDuration,
     ) -> ActionOutcome {
-        if !matches!(self.config.mode, FtMode::Ppa { .. }) {
+        if !matches!(
+            self.config.mode,
+            FtMode::Ppa { .. } | FtMode::Approximate { .. }
+        ) {
             return ActionOutcome::NoEffect {
                 action: "replan",
                 reason: "replication plans only exist under FtMode::Ppa",
@@ -1361,6 +1412,7 @@ impl Simulation {
             pending_sink: Vec::new(),
             cpu: CpuStats::default(),
             throughput: crate::report::TaskThroughput::default(),
+            divergence: crate::approx::DivergenceModel::default(),
         };
         let slot = self.tasks.len();
         self.tasks.push(replica);
@@ -1669,6 +1721,7 @@ impl Simulation {
             Event::RestoreDone { rt } => self.on_restore_done(rt),
             Event::TakeoverDone { logical } => self.on_takeover_done(logical),
             Event::ProxyTick => self.on_proxy_tick(),
+            Event::ApproxShip { rt } => self.on_approx_ship(rt),
             Event::Chaos { idx } => self.on_chaos(idx),
         }
     }
@@ -1747,6 +1800,34 @@ impl Simulation {
         if self.tasks[rt].status != Status::Running {
             return;
         }
+        self.ship_state_backup(rt);
+    }
+
+    /// Approximate mode: a lane observed the task's drift crossing the
+    /// error bound at a batch boundary and staged this ship. A ship that
+    /// arrives after the task died (or after an earlier ship already
+    /// consumed the arm) is stale and must *not* fire — the unconsumed
+    /// drift is exactly the divergence a lossy recovery will forfeit.
+    fn on_approx_ship(&mut self, rt: Rt) {
+        if self.tasks[rt].status != Status::Running || !self.tasks[rt].divergence.is_armed() {
+            return;
+        }
+        self.ship_state_backup(rt);
+        let drift = self.tasks[rt].divergence.shipped();
+        let task = self.tasks[rt].logical.0;
+        self.note(
+            self.sched.now(),
+            EngineEvent::ApproxBackupShipped {
+                task,
+                divergence: drift,
+            },
+        );
+    }
+
+    /// Bills and takes one state backup of slot `rt`: the body shared by
+    /// interval checkpoints and divergence-triggered approximate ships
+    /// (same CPU charge, same snapshot contents, same upstream trims).
+    fn ship_state_backup(&mut self, rt: Rt) {
         let state_tuples = self.tasks[rt].udf.as_ref().map_or(0, |u| u.state_tuples());
         // Delta checkpoints serialize only what changed since the last
         // snapshot; a sliding window turns over ~interval×rate tuples, so
@@ -1998,7 +2079,12 @@ impl Simulation {
     fn start_recovery(&mut self, t: usize) {
         match &self.config.mode {
             FtMode::None => { /* stays dead */ }
-            FtMode::Ppa { .. } => {
+            // Approximate recovers through the same machinery: replica
+            // takeover when a live replica exists (lossless), else a
+            // restore of the last shipped snapshot on the standby —
+            // identical load cost; the completion path diverges in
+            // `on_restore_done` (no replay, lossy jump to the frontier).
+            FtMode::Ppa { .. } | FtMode::Approximate { .. } => {
                 // Replica takeover if a live replica exists.
                 if let Some(slot) = self.replica_slot[t] {
                     if self.tasks[slot].status == Status::Running {
@@ -2105,6 +2191,7 @@ impl Simulation {
         }
         match &self.config.mode {
             FtMode::Ppa { .. } => self.restore_from_checkpoint(rt),
+            FtMode::Approximate { .. } => self.restore_approximate(rt),
             FtMode::SourceReplay { .. } => self.restore_storm(rt),
             FtMode::None => {}
         }
@@ -2180,6 +2267,163 @@ impl Simulation {
                 );
             }
         }
+        self.try_process(rt);
+    }
+
+    /// Approximate mode's lossy restore: load the last shipped snapshot
+    /// (already billed when `RestoreDone` was scheduled), then jump
+    /// straight to the stream frontier *without* replaying the gap. The
+    /// batches between the snapshot and the frontier are forfeited; one
+    /// cumulative proxy per out-edge closes them downstream so healthy
+    /// consumers never stall waiting for output that will never come.
+    /// The forfeited fidelity is quantified into the outage record's
+    /// `fidelity_floor` and an `ApproxRecovery` event before the
+    /// `RestoreDone` that closes the outage.
+    fn restore_approximate(&mut self, rt: Rt) {
+        let now = self.sched.now();
+        let is_source = self.tasks[rt].source.is_some();
+        {
+            let task = &mut self.tasks[rt];
+            match task.checkpoint.clone_parts() {
+                Some((batch, udf, out_buffer, closed)) => {
+                    task.next_batch = batch;
+                    if let Some(u) = udf {
+                        task.udf = Some(u);
+                    }
+                    task.out_buffer = out_buffer;
+                    task.closed = closed;
+                }
+                None => {
+                    // Never shipped: restart from scratch (the whole
+                    // prefix is the forfeited gap).
+                    task.next_batch = 0;
+                    for q in &mut task.out_buffer {
+                        q.clear();
+                    }
+                    for c in &mut task.closed {
+                        *c = 0;
+                    }
+                    if let Some(f) = &self.fresh_udf[task.logical.0] {
+                        task.udf = Some(f());
+                    }
+                }
+            }
+            for s in &mut task.staged {
+                s.clear();
+            }
+            task.status = Status::CatchingUp;
+        }
+
+        if is_source {
+            // Sources are deterministic per batch id: regeneration *is*
+            // exact, so they recover precisely like the exact path and
+            // forfeit nothing.
+            let current = self.current_batch();
+            let from = self.tasks[rt].next_batch;
+            for b in from..current {
+                self.generate_source_batch(rt, b, true);
+            }
+            self.tasks[rt].status = Status::Running;
+            self.tasks[rt].divergence.reset();
+            let logical = self.tasks[rt].logical;
+            let at = self.node_busy[self.tasks[rt].node].max(now);
+            self.mark_recovered(logical.0, at);
+            return;
+        }
+
+        let logical = self.tasks[rt].logical;
+        let frontier = self.current_batch();
+        let snapshot_batch = self.tasks[rt].next_batch;
+        let skipped = frontier.saturating_sub(snapshot_batch);
+        {
+            let task = &mut self.tasks[rt];
+            task.next_batch = task.next_batch.max(frontier);
+            // The forfeited gap will never arrive from upstream either:
+            // close it so `ready` never waits on it.
+            for c in &mut task.closed {
+                *c = (*c).max(frontier);
+            }
+            task.status = Status::Running;
+        }
+        let divergence = self.tasks[rt].divergence.pending();
+        self.tasks[rt].divergence.reset();
+
+        // Re-serve downstream from the restored output buffer (batches the
+        // snapshot still covers; dedup makes this idempotent), and close
+        // the forfeited gap with one cumulative proxy per out-edge —
+        // `Msg::Proxy` at batch `frontier - 1` unblocks consumers through
+        // the frontier.
+        let deliver_at = now + self.config.costs.network_latency;
+        self.flush_out_buffer(rt, deliver_at);
+        if frontier > 0 {
+            let targets: Vec<(TaskIndex, usize)> = self.tasks[rt]
+                .out_targets
+                .iter()
+                .map(|tgt| (tgt.to, tgt.to_substream))
+                .collect();
+            for (to, substream) in targets {
+                self.sched.at(
+                    deliver_at,
+                    Event::Deliver {
+                        to: to.0,
+                        substream,
+                        batch: frontier - 1,
+                        msg: Msg::Proxy,
+                    },
+                );
+                if let Some(slot) = self.replica_slot[to.0] {
+                    self.sched.at(
+                        deliver_at,
+                        Event::Deliver {
+                            to: slot,
+                            substream,
+                            batch: frontier - 1,
+                            msg: Msg::Proxy,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Live upstreams re-serve from the frontier on: the jump needs no
+        // older input, only what the resumed task will actually process.
+        let upstreams: Vec<TaskIndex> = self.tasks[rt].sub_from.iter().map(|&(_, u)| u).collect();
+        for u in upstreams {
+            let sender = self.active_slot(u.0);
+            if self.tasks[sender].status == Status::Running
+                || self.tasks[sender].status == Status::CatchingUp
+            {
+                self.resend_buffered(sender, logical, frontier, deliver_at);
+            }
+        }
+
+        // Quantify the loss: of the batch intervals the outage spans, the
+        // forfeited gap is the part whose exact output is gone for good.
+        // Conservative floor in permille — the realized fidelity can only
+        // be higher.
+        let failed_batch = self
+            .current_outage(logical.0)
+            .map_or(0, |rec| rec.failed_at.as_micros())
+            / self.config.batch_interval.as_micros();
+        let total = frontier.saturating_sub(failed_batch).max(1);
+        let forfeited = skipped.min(total);
+        let floor = (1000 * (total - forfeited) / total) as u16;
+        if let Some(rec) = self.current_outage_mut(logical.0) {
+            rec.fidelity_floor = Some(floor);
+        }
+        self.note(
+            now,
+            EngineEvent::ApproxRecovery {
+                task: logical.0,
+                divergence,
+                skipped_batches: skipped,
+                fidelity_floor: floor,
+            },
+        );
+        // `now` is the restore's own CPU-reserved completion instant, and
+        // the frontier jump is pure bookkeeping: progress dominates here,
+        // not after whatever other restores are queued on this standby.
+        self.mark_recovered(logical.0, now);
         self.try_process(rt);
     }
 
@@ -2330,7 +2574,10 @@ impl Simulation {
     fn on_proxy_tick(&mut self) {
         self.sched
             .after(self.config.batch_interval, Event::ProxyTick);
-        if !matches!(self.config.mode, FtMode::Ppa { .. }) {
+        if !matches!(
+            self.config.mode,
+            FtMode::Ppa { .. } | FtMode::Approximate { .. }
+        ) {
             return;
         }
         let frontier = self.current_batch().saturating_sub(1);

@@ -1374,3 +1374,179 @@ fn dead_replica_falls_back_to_checkpoint_recovery() -> TestResult {
     assert!(r.recovered_at.is_some(), "checkpoint fallback must recover");
     Ok(())
 }
+
+// ----------------------------------------------------------------------
+// Approximate fault tolerance (divergence-bounded backups, lossy restore)
+// ----------------------------------------------------------------------
+
+#[test]
+fn approximate_ships_on_divergence_and_skips_within_bound() -> TestResult {
+    // Mids absorb 100 tuples per batch: a bound of 300 ships roughly every
+    // third batch and skips the two in between — both counters must show
+    // up in the drive's metrics, and only under the approximate mode.
+    let ships = |bound: u64| -> Result<(u64, u64), Box<dyn Error>> {
+        let q = chain_query(100, 10)?;
+        let mut sim = Simulation::new(
+            &q,
+            one_task_per_node(&q)?,
+            base_config(FtMode::approximate(5, SimDuration::from_secs(5), bound)),
+        );
+        let driven = sim.drive(
+            &FaultFeed::from_specs(Vec::new()),
+            &mut crate::control::StaticPolicy,
+            SimTime::from_secs(60),
+        )?;
+        Ok((
+            driven.metrics.counter("engine.approx.backups_shipped"),
+            driven.metrics.counter("engine.approx.backups_skipped"),
+        ))
+    };
+    let (shipped, skipped) = ships(300)?;
+    assert!(shipped > 0, "drift crossings must ship backups");
+    assert!(skipped > 0, "within-bound batches must be skipped");
+    // Monotone in the bound: a tighter bound never ships fewer backups.
+    let (tight, _) = ships(100)?;
+    let (loose, _) = ships(900)?;
+    assert!(
+        tight >= shipped && shipped >= loose,
+        "{tight} {shipped} {loose}"
+    );
+    Ok(())
+}
+
+#[test]
+fn approximate_recovery_skips_replay_and_records_the_floor() -> TestResult {
+    let q = chain_query(100, 10)?;
+    let kill = || {
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }]
+    };
+    let exact = Simulation::run(
+        &q,
+        one_task_per_node(&q)?,
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        kill(),
+        SimDuration::from_secs(60),
+    );
+    let approx = Simulation::run(
+        &q,
+        one_task_per_node(&q)?,
+        base_config(FtMode::approximate(5, SimDuration::from_secs(5), 300)),
+        kill(),
+        SimDuration::from_secs(60),
+    );
+    let lat = |rep: &RunReport| rep.recoveries[0].latency().ok_or("must recover");
+    assert!(
+        lat(&approx)? < lat(&exact)?,
+        "lossy restore must beat restore+replay: {} vs {}",
+        lat(&approx)?,
+        lat(&exact)?
+    );
+    // The forfeited fidelity is quantified on the outage record — and only
+    // on the lossy family's records.
+    let rec = &approx.outages[0].records[0];
+    let floor = rec
+        .fidelity_floor
+        .ok_or("lossy recovery must record a floor")?;
+    assert!(floor <= 1000);
+    assert!(
+        floor < 1000,
+        "a 16s gap against a 5s-stale snapshot forfeits batches"
+    );
+    assert!(exact.outages[0].records[0].fidelity_floor.is_none());
+    // Downstream is not stalled by the jump: the sink keeps producing
+    // complete, non-tentative batches after the recovery.
+    let recovered_at = approx.recoveries[0].recovered_at.ok_or("recovered")?;
+    let late: Vec<_> = approx
+        .sink
+        .iter()
+        .filter(|s| s.at > recovered_at + SimDuration::from_secs(10))
+        .collect();
+    assert!(
+        !late.is_empty(),
+        "sink must keep flowing after a lossy jump"
+    );
+    assert!(late.iter().all(|s| s.tuples.len() == 200 && !s.tentative));
+    Ok(())
+}
+
+#[test]
+fn approximate_recovery_emits_the_loss_before_closing() -> TestResult {
+    let q = chain_query(100, 10)?;
+    let mut sim = Simulation::new(
+        &q,
+        one_task_per_node(&q)?,
+        base_config(FtMode::approximate(5, SimDuration::from_secs(5), 300)),
+    );
+    sim.set_trace_sink(Box::new(ppa_obs::VecSink::new()));
+    let driven = sim.drive(
+        &FaultFeed::from_specs(vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2)],
+        }]),
+        &mut crate::control::StaticPolicy,
+        SimTime::from_secs(60),
+    )?;
+    let events = sim.take_trace_sink().ok_or("sink attached")?.take_events();
+    let pos =
+        |pred: &dyn Fn(&ppa_obs::EngineEvent) -> bool| events.iter().position(|(_, e)| pred(e));
+    let ship = pos(&|e| matches!(e, ppa_obs::EngineEvent::ApproxBackupShipped { task: 2, .. }))
+        .ok_or("task 2 must ship at least one backup before dying")?;
+    let loss = pos(&|e| matches!(e, ppa_obs::EngineEvent::ApproxRecovery { task: 2, .. }))
+        .ok_or("lossy recovery must be quantified")?;
+    let done = pos(&|e| matches!(e, ppa_obs::EngineEvent::RestoreDone { task: 2 }))
+        .ok_or("outage must close via RestoreDone")?;
+    assert!(ship < loss && loss < done, "{ship} {loss} {done}");
+    if let ppa_obs::EngineEvent::ApproxRecovery {
+        divergence,
+        skipped_batches,
+        fidelity_floor,
+        ..
+    } = &events[loss].1
+    {
+        assert!(*skipped_batches > 0, "the replay gap is what gets skipped");
+        assert!(*fidelity_floor < 1000);
+        // The drift forfeited at recovery stayed within one bound: the
+        // crossing batch armed a ship that the failure then voided, so at
+        // most bound-1 + one batch of drift is ever pending.
+        assert!(*divergence <= 300 + 100, "forfeited drift {divergence}");
+    }
+    // The registry agrees with the event stream.
+    assert_eq!(
+        driven.metrics.counter("engine.approx.backups_shipped"),
+        events
+            .iter()
+            .filter(|(_, e)| matches!(e, ppa_obs::EngineEvent::ApproxBackupShipped { .. }))
+            .count() as u64
+    );
+    Ok(())
+}
+
+#[test]
+fn approximate_zero_bound_matches_checkpoint_byte_for_byte() -> TestResult {
+    let q = chain_query(100, 10)?;
+    let kill = || {
+        vec![FailureSpec {
+            at: SimTime::from_secs(14),
+            nodes: vec![node_of(2), node_of(3)],
+        }]
+    };
+    let cp = Simulation::run(
+        &q,
+        one_task_per_node(&q)?,
+        base_config(FtMode::checkpoint(5, SimDuration::from_secs(5))),
+        kill(),
+        SimDuration::from_secs(60),
+    );
+    let zero = Simulation::run(
+        &q,
+        one_task_per_node(&q)?,
+        base_config(FtMode::approximate(5, SimDuration::from_secs(5), 0)),
+        kill(),
+        SimDuration::from_secs(60),
+    );
+    assert_eq!(full_digest(&cp), full_digest(&zero));
+    Ok(())
+}

@@ -39,6 +39,21 @@ pub enum EngineEvent {
     /// The master began proxying the failed task's punctuations: the
     /// first tentative (degraded) output of this outage is flowing.
     TentativeResumed { task: usize },
+    /// Approximate mode: a task's accumulated divergence reached the
+    /// error bound and a state backup shipped, covering `divergence`
+    /// drift units (input tuples absorbed since the previous backup).
+    ApproxBackupShipped { task: usize, divergence: u64 },
+    /// Approximate mode: a lossy recovery completed — the task restored
+    /// its last shipped snapshot and jumped `skipped_batches` batches to
+    /// the frontier without replay, forfeiting `divergence` drift units;
+    /// `fidelity_floor` is the outage's guaranteed fidelity in permille.
+    /// Always followed by the `restore_done` that closes the outage.
+    ApproxRecovery {
+        task: usize,
+        divergence: u64,
+        skipped_batches: u64,
+        fidelity_floor: u16,
+    },
     /// The control plane adopted a re-plan: replicas established and torn
     /// down, and the adopted plan's size.
     ReplanAdopted {
@@ -78,6 +93,8 @@ impl EngineEvent {
             EngineEvent::RestoreVoided { .. } => "restore_voided",
             EngineEvent::ReplicaActivated { .. } => "replica_activated",
             EngineEvent::TentativeResumed { .. } => "tentative_resumed",
+            EngineEvent::ApproxBackupShipped { .. } => "approx_backup_shipped",
+            EngineEvent::ApproxRecovery { .. } => "approx_recovery",
             EngineEvent::ReplanAdopted { .. } => "replan_adopted",
             EngineEvent::MigrationScheduled { .. } => "migration_scheduled",
             EngineEvent::ControlNoEffect { .. } => "control_no_effect",
@@ -95,7 +112,9 @@ impl EngineEvent {
             | EngineEvent::RestoreDone { task }
             | EngineEvent::RestoreVoided { task }
             | EngineEvent::ReplicaActivated { task }
-            | EngineEvent::TentativeResumed { task } => Some(*task),
+            | EngineEvent::TentativeResumed { task }
+            | EngineEvent::ApproxBackupShipped { task, .. }
+            | EngineEvent::ApproxRecovery { task, .. } => Some(*task),
             _ => None,
         }
     }

@@ -58,6 +58,20 @@ fn write_payload(event: &EngineEvent, out: &mut String) {
         EngineEvent::RestoreStarted { task, node } => {
             let _ = write!(out, ",\"task\":{task},\"node\":{node}");
         }
+        EngineEvent::ApproxBackupShipped { task, divergence } => {
+            let _ = write!(out, ",\"task\":{task},\"divergence\":{divergence}");
+        }
+        EngineEvent::ApproxRecovery {
+            task,
+            divergence,
+            skipped_batches,
+            fidelity_floor,
+        } => {
+            let _ = write!(
+                out,
+                ",\"task\":{task},\"divergence\":{divergence},\"skipped_batches\":{skipped_batches},\"fidelity_floor\":{fidelity_floor}"
+            );
+        }
         EngineEvent::ReplanAdopted {
             activated,
             deactivated,

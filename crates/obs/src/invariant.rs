@@ -66,6 +66,9 @@ struct TaskState {
     /// `TentativeResumed` seen for the current record (at most one — the
     /// engine emits it on a record's *first* proxied output only).
     tentative: bool,
+    /// `ApproxRecovery` seen for the current record (at most one — a
+    /// voided approximate restore must not record its loss twice).
+    approx: bool,
     /// The current record's `OutageOpened` instant.
     opened_at: SimTime,
 }
@@ -120,6 +123,7 @@ pub fn check_stream(events: &[(SimTime, EngineEvent)]) -> StreamCheck {
                 st.open = true;
                 st.detections = 0;
                 st.tentative = false;
+                st.approx = false;
                 st.opened_at = at;
                 out.outages_opened += 1;
             }
@@ -188,6 +192,40 @@ pub fn check_stream(events: &[(SimTime, EngineEvent)]) -> StreamCheck {
                 }
                 st.tentative = true;
             }
+            EngineEvent::ApproxRecovery {
+                task,
+                fidelity_floor,
+                ..
+            } => {
+                let st = tasks.entry(*task).or_default();
+                if !st.open || st.detections == 0 {
+                    out.violations.push(Violation::new(
+                        "approx_recovery_before_detection",
+                        at,
+                        Some(*task),
+                        "ApproxRecovery without a detected open outage".to_string(),
+                    ));
+                }
+                if st.approx {
+                    out.violations.push(Violation::new(
+                        "approx_recovery_twice",
+                        at,
+                        Some(*task),
+                        "a second ApproxRecovery within one outage record \
+                         (forfeited fidelity double-counted)"
+                            .to_string(),
+                    ));
+                }
+                if *fidelity_floor > 1000 {
+                    out.violations.push(Violation::new(
+                        "fidelity_floor_out_of_range",
+                        at,
+                        Some(*task),
+                        format!("fidelity_floor {fidelity_floor} exceeds 1000 permille"),
+                    ));
+                }
+                st.approx = true;
+            }
             EngineEvent::RestoreDone { task } | EngineEvent::ReplicaActivated { task } => {
                 let st = tasks.entry(*task).or_default();
                 if !st.open {
@@ -247,7 +285,8 @@ pub fn check_stream(events: &[(SimTime, EngineEvent)]) -> StreamCheck {
             }
             EngineEvent::ReplanAdopted { .. }
             | EngineEvent::MigrationScheduled { .. }
-            | EngineEvent::ControlNoEffect { .. } => {}
+            | EngineEvent::ControlNoEffect { .. }
+            | EngineEvent::ApproxBackupShipped { .. } => {}
         }
     }
     out
@@ -366,6 +405,71 @@ mod tests {
         let check = check_stream(&events);
         assert_eq!(check.violations.len(), 1);
         assert_eq!(check.violations[0].invariant, "close_before_detection");
+    }
+
+    #[test]
+    fn approx_recovery_lifecycle_rules() {
+        // Healthy: open → detect → approx_recovery → restore_done.
+        let healthy = vec![
+            (
+                s(40),
+                EngineEvent::OutageOpened {
+                    task: 1,
+                    refail: false,
+                },
+            ),
+            (s(45), EngineEvent::OutageDetected { task: 1 }),
+            (
+                s(46),
+                EngineEvent::ApproxRecovery {
+                    task: 1,
+                    divergence: 120,
+                    skipped_batches: 6,
+                    fidelity_floor: 0,
+                },
+            ),
+            (s(46), EngineEvent::RestoreDone { task: 1 }),
+        ];
+        assert!(check_stream(&healthy).ok());
+
+        // A second ApproxRecovery in one record double-counts the loss.
+        let mut doubled = healthy.clone();
+        doubled.insert(
+            3,
+            (
+                s(46),
+                EngineEvent::ApproxRecovery {
+                    task: 1,
+                    divergence: 120,
+                    skipped_batches: 6,
+                    fidelity_floor: 0,
+                },
+            ),
+        );
+        let check = check_stream(&doubled);
+        assert_eq!(check.violations.len(), 1);
+        assert_eq!(check.violations[0].invariant, "approx_recovery_twice");
+
+        // Undetected and out-of-range floors are flagged.
+        let bad = vec![(
+            s(46),
+            EngineEvent::ApproxRecovery {
+                task: 2,
+                divergence: 1,
+                skipped_batches: 0,
+                fidelity_floor: 1500,
+            },
+        )];
+        let rules: Vec<&str> = check_stream(&bad)
+            .violations
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(
+            rules.contains(&"approx_recovery_before_detection"),
+            "{rules:?}"
+        );
+        assert!(rules.contains(&"fidelity_floor_out_of_range"), "{rules:?}");
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub mod worldcup;
 pub mod zipf;
 
 pub use accuracy::{
-    batch_fidelity, incident_accuracy, outage_fidelity, outage_windows, sink_set_accuracy,
-    topk_accuracy,
+    batch_fidelity, floored_outage_windows, incident_accuracy, outage_fidelity, outage_windows,
+    sink_set_accuracy, topk_accuracy, OutageWindow,
 };
 pub use navigation::{q2_scenario, NavigationConfig};
 pub use synthetic::{fig6_scenario, Fig6Config};

@@ -105,6 +105,7 @@ fn experiments_registry_is_complete() {
             "adaptive_sweep",
             "refail_sweep",
             "scale_sweep",
+            "approx_sweep",
             "chaos_swarm"
         ]
     );
